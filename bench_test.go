@@ -1,0 +1,321 @@
+package rmtest_test
+
+// Benchmark harness: one bench per table/figure of the paper's evaluation
+// plus the ablations DESIGN.md calls out and micro-benchmarks of the
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks double as the regeneration entry points: each one
+// executes the same experiment code as cmd/tablei / cmd/pumpsim, so the
+// wall-clock cost of reproducing every result is measured directly.
+
+import (
+	"testing"
+	"time"
+
+	"rmtest"
+	"rmtest/internal/codegen"
+	"rmtest/internal/core"
+	"rmtest/internal/gpca"
+	"rmtest/internal/platform"
+	"rmtest/internal/rtos"
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+	"rmtest/internal/verify"
+)
+
+// --- Table I ---------------------------------------------------------
+
+func benchScheme(b *testing.B, mk func() platform.Scheme, forceM bool) {
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: 10, Start: 50 * time.Millisecond, Spacing: 4500 * time.Millisecond,
+		Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond, Seed: 42,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := core.NewRunner(gpca.Factory(mk), req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.RunRM(tc, forceM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// BenchmarkTableIScheme1 regenerates the scheme-1 column of Table I
+// (R-testing passes; M-testing forced for the segment columns).
+func BenchmarkTableIScheme1(b *testing.B) {
+	benchScheme(b, func() platform.Scheme { return platform.DefaultScheme1() }, true)
+}
+
+// BenchmarkTableIScheme2 regenerates the scheme-2 column of Table I.
+func BenchmarkTableIScheme2(b *testing.B) {
+	benchScheme(b, func() platform.Scheme { return platform.DefaultScheme2() }, true)
+}
+
+// BenchmarkTableIScheme3 regenerates the scheme-3 column of Table I (the
+// violating scheme; M-testing follows automatically).
+func BenchmarkTableIScheme3(b *testing.B) {
+	benchScheme(b, func() platform.Scheme { return platform.DefaultScheme3() }, false)
+}
+
+// BenchmarkTableIFull regenerates the complete Table I, all three
+// schemes, ten samples each — the paper's entire evaluation table.
+func BenchmarkTableIFull(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reports, err := rmtest.TableIExperiment(rmtest.TableIOptions{Samples: 10, Seed: 42, ForceM: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rmtest.RenderTableI(reports)
+	}
+}
+
+// --- Fig. 2 (the model) ----------------------------------------------
+
+// BenchmarkFig2ModelStep measures interpreting the Fig. 2 pump chart (the
+// executable model reference), one E_CLK tick per iteration.
+func BenchmarkFig2ModelStep(b *testing.B) {
+	cc, err := gpca.Chart().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := statechart.NewMachine(cc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4500 == 0 {
+			m.Step("i_BolusReq")
+		} else {
+			m.Step()
+		}
+	}
+}
+
+// BenchmarkFig2GeneratedStep measures the generated-code executor on the
+// same chart — the CODE(M) artifact the platform actually runs.
+func BenchmarkFig2GeneratedStep(b *testing.B) {
+	cc, err := gpca.Chart().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := codegen.Generate(cc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := codegen.NewExec(prog, codegen.ZeroCostModel(), nil, nil)
+	mask := e.EventMask("i_BolusReq")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4500 == 0 {
+			e.Step(mask)
+		} else {
+			e.Step(0)
+		}
+	}
+}
+
+// BenchmarkFig2Verification measures the model-level verification of
+// REQ1 (the Design Verifier step of Fig. 1).
+func BenchmarkFig2Verification(b *testing.B) {
+	cc, err := gpca.Chart().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prop := verify.ResponseProperty{
+		Name: "REQ1", Event: "i_BolusReq", InState: "Idle",
+		Output: "o_MotorState", Target: func(v int64) bool { return v >= 1 },
+		WithinTicks: 100,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.CheckResponse(cc, prop, verify.Options{})
+		if err != nil || res.Outcome != verify.Holds {
+			b.Fatalf("%v %v", res.Outcome, err)
+		}
+	}
+}
+
+// --- Fig. 3 (delay segments) -----------------------------------------
+
+// BenchmarkFig3DelaySegments regenerates the Fig. 3 measurement: one
+// bolus request on scheme 1 with full M-level instrumentation, matched
+// into the m->i->o->c chain with its two transition delays.
+func BenchmarkFig3DelaySegments(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seg, err := rmtest.Fig3Experiment(rmtest.Scheme1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(seg.Transitions) != 2 {
+			b.Fatalf("transitions: %v", seg.Transitions)
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------
+
+// BenchmarkAblationBaselineVsRM runs the A1 ablation: black-box baseline
+// monitor vs the layered R-M flow on identical scheme-3 stimuli.
+func BenchmarkAblationBaselineVsRM(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		info, err := rmtest.AblationBaselineVsRM(10, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.RMFacts <= info.BaselineFacts {
+			b.Fatal("ablation inverted")
+		}
+	}
+}
+
+// BenchmarkAblationPeriodSweep runs the A2 ablation: REQ1 segments as a
+// function of the CODE(M) task period.
+func BenchmarkAblationPeriodSweep(b *testing.B) {
+	periods := []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rmtest.AblationPeriodSweep(periods, 6, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks --------------------------------------
+
+// BenchmarkSimKernelEvent measures raw discrete-event dispatch.
+func BenchmarkSimKernelEvent(b *testing.B) {
+	k := sim.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkRTOSPingPong measures a context-switch-heavy workload: two
+// tasks exchanging messages through queues.
+func BenchmarkRTOSPingPong(b *testing.B) {
+	k := sim.New()
+	s := rtos.New(k, rtos.Config{})
+	defer s.Shutdown()
+	ping := s.NewQueue("ping", 1)
+	pong := s.NewQueue("pong", 1)
+	s.Spawn("a", 1, 0, func(t *rtos.Task) {
+		for {
+			t.Compute(5 * time.Microsecond)
+			t.Send(ping, 1)
+			t.Recv(pong)
+		}
+	})
+	s.Spawn("b", 1, 0, func(t *rtos.Task) {
+		for {
+			t.Recv(ping)
+			t.Compute(5 * time.Microsecond)
+			t.Send(pong, 1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Run(k.Now() + time.Millisecond)
+	}
+}
+
+// BenchmarkPumpSimulationSecond measures simulating one virtual second of
+// the scheme-2 pump, including sensors, queues and CODE(M) execution.
+func BenchmarkPumpSimulationSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := platform.NewSystem(gpca.PlatformConfig(), platform.DefaultScheme2(), platform.MLevel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Env.PulseAt(40*time.Millisecond, gpca.SigBolusButton, 1, 0, gpca.ButtonPress)
+		sys.Run(time.Second)
+		sys.Shutdown()
+	}
+}
+
+// --- Instrumentation overhead ----------------------------------------
+
+// benchInstrumentation measures the wall-clock cost of simulating ten
+// virtual seconds of the scheme-2 pump at an instrumentation level. The
+// two levels observe identical virtual executions (asserted by tests);
+// the benchmark quantifies the host-side cost of the extra M-level
+// probes.
+func benchInstrumentation(b *testing.B, level platform.Instrument) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := platform.NewSystem(gpca.PlatformConfig(), platform.DefaultScheme2(), level)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			sys.Env.PulseAt(time.Duration(50+4500*k)*time.Millisecond, gpca.SigBolusButton, 1, 0, gpca.ButtonPress)
+		}
+		sys.Run(10 * time.Second)
+		sys.Shutdown()
+	}
+}
+
+// BenchmarkInstrumentationRLevel is the R-testing probe configuration.
+func BenchmarkInstrumentationRLevel(b *testing.B) { benchInstrumentation(b, platform.RLevel) }
+
+// BenchmarkInstrumentationMLevel adds i/o-boundary and transition probes.
+func BenchmarkInstrumentationMLevel(b *testing.B) { benchInstrumentation(b, platform.MLevel) }
+
+// BenchmarkRequirementsMatrix regenerates the full requirement x scheme
+// conformance matrix.
+func BenchmarkRequirementsMatrix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := rmtest.RequirementsMatrix(4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 9 {
+			b.Fatal("matrix incomplete")
+		}
+	}
+}
+
+// BenchmarkModelVerificationInvariant measures the safety-invariant
+// checker on the pump model.
+func BenchmarkModelVerificationInvariant(b *testing.B) {
+	cc, err := gpca.Chart().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prop := verify.InvariantProperty{
+		Name:  "no-motor-in-alarm",
+		Reads: []string{"o_MotorState"},
+		Holds: func(state string, vars map[string]int64) bool {
+			return state != "EmptyAlarm" || vars["o_MotorState"] == 0
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.CheckInvariant(cc, prop, verify.Options{})
+		if err != nil || res.Outcome != verify.Holds {
+			b.Fatalf("%v %v", res.Outcome, err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Command rmtest drives the full layered flow for one requirement on one
+// implementation scheme: model-level verification, R-testing, and — on
+// violation — M-testing with delay-segment diagnosis.
+//
+// Usage:
+//
+//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmtest"
+	"rmtest/internal/core"
+	"rmtest/internal/gpca"
+	"rmtest/internal/platform"
+)
+
+func main() {
+	reqName := flag.String("req", "REQ1", "requirement: REQ1, REQ2 or REQ3")
+	schemeNo := flag.Int("scheme", 3, "implementation scheme (1, 2 or 3)")
+	n := flag.Int("n", 10, "number of test samples")
+	seed := flag.Uint64("seed", 42, "stimulus jitter seed")
+	forceM := flag.Bool("force-m", false, "run M-testing even when R-testing passes")
+	cover := flag.Bool("coverage", false, "measure test adequacy and suggest extra stimuli")
+	rtaFlag := flag.Bool("rta", false, "print the analytic response-time prediction for the scheme")
+	flag.Parse()
+
+	var req rmtest.Requirement
+	switch *reqName {
+	case "REQ1":
+		req = gpca.REQ1()
+	case "REQ2":
+		req = gpca.REQ2()
+	case "REQ3":
+		req = gpca.REQ3()
+	default:
+		fail("unknown requirement %q", *reqName)
+	}
+	var mk func() platform.Scheme
+	switch *schemeNo {
+	case 1:
+		mk = func() platform.Scheme { return platform.DefaultScheme1() }
+	case 2:
+		mk = func() platform.Scheme { return platform.DefaultScheme2() }
+	case 3:
+		mk = func() platform.Scheme { return platform.DefaultScheme3() }
+	default:
+		fail("scheme must be 1, 2 or 3")
+	}
+
+	fmt.Printf("== requirement ==\n%s\n\n", req)
+
+	// Phase 0: model-level verification (REQ1 only has a chart-level
+	// form; for the others we verify the alarm responses).
+	fmt.Println("== model-level verification (Design Verifier step) ==")
+	prop := modelProp(*reqName)
+	res, err := rmtest.VerifyResponse(rmtest.PumpChart(), prop, rmtest.VerifyOptions{})
+	if err != nil {
+		fail("verify: %v", err)
+	}
+	fmt.Printf("%s\n\n", res)
+	if res.Outcome == rmtest.Violated {
+		fail("requirement does not hold at model level; fix the model first")
+	}
+
+	if *rtaFlag && *schemeNo != 1 {
+		fmt.Println("== analytic prediction (response-time analysis) ==")
+		s2 := platform.DefaultScheme2()
+		var interference []platform.InterferenceTask
+		if *schemeNo == 3 {
+			s3 := platform.DefaultScheme3()
+			s2 = &s3.Scheme2
+			interference = s3.Interference
+		}
+		an, err := rmtest.AnalyzePipeline(s2, interference)
+		if err != nil {
+			fail("rta: %v", err)
+		}
+		fmt.Print(rmtest.RenderRTA(an.Tasks))
+		if an.Bound < 0 {
+			fmt.Println("pipeline not schedulable: REQ1 violation predicted")
+		} else {
+			fmt.Printf("end-to-end m->c bound: %v (REQ1 predicted %s)\n",
+				an.Bound, map[bool]string{true: "conformant", false: "violating"}[an.PredictConforms])
+		}
+		fmt.Println()
+	}
+
+	// Phase 1+2: layered R-M testing on the implemented system.
+	runner, err := rmtest.NewRunner(gpca.Factory(mk), req)
+	if err != nil {
+		fail("runner: %v", err)
+	}
+	gen := core.Generator{
+		N: *n, Start: 50 * time.Millisecond,
+		Spacing:  4500 * time.Millisecond,
+		Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
+		Seed: *seed,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		fail("generate: %v", err)
+	}
+	rep, err := runner.RunRM(tc, *forceM)
+	if err != nil {
+		fail("run: %v", err)
+	}
+	fmt.Printf("== R-testing (%s) ==\n", rep.R.Scheme)
+	for _, s := range rep.R.Samples {
+		fmt.Printf("  %s\n", s)
+	}
+	if rep.R.Passed() {
+		fmt.Println("R-testing: PASS — the implemented system conforms to the requirement")
+	} else {
+		fmt.Printf("R-testing: FAIL — samples %v violate the requirement\n", rep.R.Violations())
+	}
+	if rep.M == nil {
+		return
+	}
+	fmt.Println("\n== M-testing (delay segments) ==")
+	for _, s := range rep.M.Samples {
+		if !s.SegmentsOK {
+			fmt.Printf("  #%d [%v]: no full m->i->o->c chain\n", s.Index, s.Verdict)
+			continue
+		}
+		fmt.Printf("  #%d [%v]: %s\n", s.Index, s.Verdict, s.Segments)
+	}
+	if len(rep.Diagnosis) > 0 {
+		fmt.Println("\n== diagnosis ==")
+		fmt.Print(rmtest.RenderFindings(rep.Diagnosis))
+	}
+	if *cover {
+		fmt.Println("\n== test adequacy (coverage) ==")
+		cov := rmtest.MeasureCoverage(*rep.M, 40*time.Millisecond, 8)
+		fmt.Print(cov.String())
+		if extra := rmtest.SuggestStimuli(cov.Phase, tc.Stimuli[len(tc.Stimuli)-1], 4500*time.Millisecond); len(extra) > 0 {
+			fmt.Println("suggested additional stimuli (uncovered phases):")
+			for _, at := range extra {
+				fmt.Printf("  %v\n", at)
+			}
+		}
+		if hints := rmtest.SuggestScenarios(*rep.M, cov); len(hints) > 0 {
+			fmt.Println("suggested scenarios (uncovered transitions):")
+			for _, h := range hints {
+				fmt.Printf("  %s\n", h)
+			}
+		}
+	}
+}
+
+func modelProp(req string) rmtest.ResponseProperty {
+	switch req {
+	case "REQ2":
+		return rmtest.ResponseProperty{
+			Name: "REQ2-model", Event: "i_EmptyAlarm", InState: "Idle",
+			Output: "o_BuzzerState", Target: func(v int64) bool { return v == 1 },
+			TargetDesc: "== 1", WithinTicks: 250,
+		}
+	case "REQ3":
+		return rmtest.ResponseProperty{
+			Name: "REQ3-model", Event: "i_ClearAlarm", InState: "EmptyAlarm",
+			Output: "o_BuzzerState", Target: func(v int64) bool { return v == 0 },
+			TargetDesc: "== 0", WithinTicks: 200,
+		}
+	default:
+		return rmtest.ResponseProperty{
+			Name: "REQ1-model", Event: "i_BolusReq", InState: "Idle",
+			Output: "o_MotorState", Target: func(v int64) bool { return v >= 1 },
+			TargetDesc: ">= 1", WithinTicks: 100,
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmtest: "+format+"\n", args...)
+	os.Exit(1)
+}

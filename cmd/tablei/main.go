@@ -1,0 +1,86 @@
+// Command tablei regenerates Table I of the paper: R-testing delays and
+// M-testing delay segments for the bolus-request scenario of REQ1 on the
+// three implementation schemes.
+//
+// Usage:
+//
+//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmtest"
+)
+
+func main() {
+	n := flag.Int("n", 10, "test samples per scheme")
+	seed := flag.Uint64("seed", 42, "stimulus-phase jitter seed")
+	forceM := flag.Bool("force-m", true, "run M-testing even for passing schemes")
+	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of the formatted table")
+	trans := flag.Bool("transitions", false, "also print per-transition delays")
+	matrix := flag.Bool("matrix", false, "also print the requirement x scheme conformance matrix")
+	flag.Parse()
+
+	reports, err := rmtest.TableIExperiment(rmtest.TableIOptions{
+		Samples: *n, Seed: *seed, ForceM: *forceM,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablei:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(rmtest.RenderCSV(reports))
+		return
+	}
+	if *jsonOut {
+		data, err := rmtest.RenderJSON(reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablei:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Print(rmtest.RenderTableI(reports))
+	if *matrix {
+		cells, err := rmtest.RequirementsMatrix(*n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablei:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nRequirement x scheme conformance (pass/fail/MAX):")
+		fmt.Printf("%-8s %-18s %-18s %-18s\n", "", "scheme1", "scheme2", "scheme3")
+		byReq := map[string][]rmtest.MatrixCell{}
+		var order []string
+		for _, c := range cells {
+			if _, seen := byReq[c.Requirement]; !seen {
+				order = append(order, c.Requirement)
+			}
+			byReq[c.Requirement] = append(byReq[c.Requirement], c)
+		}
+		for _, req := range order {
+			fmt.Printf("%-8s", req)
+			for _, c := range byReq[req] {
+				fmt.Printf(" %-18s", fmt.Sprintf("%d/%d/%d", c.Pass, c.Fail, c.Max))
+			}
+			fmt.Println()
+		}
+	}
+	if *trans {
+		for _, rep := range reports {
+			if rep.M != nil {
+				fmt.Println()
+				fmt.Print(rmtest.RenderTransitions(*rep.M, false))
+			}
+		}
+	}
+	for _, rep := range reports {
+		if len(rep.Diagnosis) > 0 {
+			fmt.Printf("\nDiagnosis (%s):\n%s", rep.R.Scheme, rmtest.RenderFindings(rep.Diagnosis))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Quickstart walks the complete model-based implementation flow on a
+// minimal system: model a door controller as a timed statechart, verify
+// its timing requirement at model level, generate code, integrate it on
+// the simulated platform, and run the layered R-M timing test.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmtest"
+)
+
+func main() {
+	// 1. Model: a door opener. When the open button is pressed, the motor
+	//    must start within 50 ms (model time: 50 one-millisecond ticks).
+	chart := &rmtest.Chart{
+		Name:       "door",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"i_OpenReq", "i_Closed"},
+		Vars: []rmtest.VarDecl{
+			{Name: "o_Motor", Type: rmtest.Int, Kind: rmtest.Out},
+		},
+		Initial: "Closed",
+		States: []*rmtest.State{
+			{Name: "Closed", Transitions: []rmtest.Transition{
+				{To: "Opening", Trigger: "i_OpenReq", Action: "o_Motor := 1"},
+			}},
+			{Name: "Opening", Transitions: []rmtest.Transition{
+				{To: "Open", Trigger: "after(2000, E_CLK)", Action: "o_Motor := 0"},
+			}},
+			{Name: "Open", Transitions: []rmtest.Transition{
+				{To: "Closed", Trigger: "i_Closed"},
+			}},
+		},
+	}
+
+	// 2. Verify the requirement on the model (Design Verifier step).
+	res, err := rmtest.VerifyResponse(chart, rmtest.ResponseProperty{
+		Name: "open-within-50", Event: "i_OpenReq", InState: "Closed",
+		Output: "o_Motor", Target: func(v int64) bool { return v == 1 },
+		TargetDesc: "== 1", WithinTicks: 50,
+	}, rmtest.VerifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model-level verification:", res)
+
+	// 3. Platform: one button sensor, one motor actuator, scheme 1.
+	cfg := rmtest.PlatformConfig{
+		Chart: chart,
+		Cost:  rmtest.DefaultCostModel(),
+		Board: rmtest.BoardConfig{
+			Name: "door-board",
+			Sensors: []rmtest.SensorConfig{
+				{Name: "open_button", Signal: "sig_button", SamplePeriod: 5 * time.Millisecond},
+				{Name: "closed_switch", Signal: "sig_closed", SamplePeriod: 5 * time.Millisecond},
+			},
+			Actuators: []rmtest.ActuatorConfig{
+				{Name: "door_motor", Signal: "sig_motor", Latency: 2 * time.Millisecond},
+			},
+		},
+		Inputs: []rmtest.InputBinding{
+			{Sensor: "open_button", Event: "i_OpenReq"},
+			{Sensor: "closed_switch", Event: "i_Closed"},
+		},
+		Outputs: []rmtest.OutputBinding{
+			{Var: "o_Motor", Actuator: "door_motor"},
+		},
+	}
+
+	// 4. R-M test the implemented system: press the button 5 times.
+	req := rmtest.Requirement{
+		ID:   "DOOR-1",
+		Text: "The door motor shall start within 50ms of the open request.",
+		Stimulus: rmtest.StimulusSpec{
+			Signal: "sig_button", Value: 1, Rest: 0,
+			Width: 80 * time.Millisecond, Match: rmtest.Equals(1),
+		},
+		Response: rmtest.ResponseSpec{Signal: "sig_motor", Match: rmtest.AtLeast(1)},
+		Bound:    50 * time.Millisecond,
+		Timeout:  500 * time.Millisecond,
+	}
+	factory := func(level rmtest.Instrument) (*rmtest.System, error) {
+		return rmtest.NewSystem(cfg, rmtest.Scheme1(), level)
+	}
+	runner, err := rmtest.NewRunner(factory, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Between samples, someone shuts the door again so each open request
+	// meets the Closed precondition.
+	runner.Prepare = func(sys *rmtest.System, tc rmtest.TestCase) {
+		for _, at := range tc.Stimuli {
+			sys.Env.PulseAt(at+2500*time.Millisecond, "sig_closed", 1, 0, 100*time.Millisecond)
+		}
+	}
+	gen := rmtest.Generator{
+		N: 5, Start: 30 * time.Millisecond, Spacing: 3 * time.Second,
+		Strategy: rmtest.JitteredSpacing, Jitter: 100 * time.Millisecond, Seed: 1,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := runner.RunRM(tc, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nR-testing samples:")
+	for _, s := range report.R.Samples {
+		fmt.Println(" ", s)
+	}
+	fmt.Println("R-testing passed:", report.R.Passed())
+	if report.M != nil {
+		fmt.Println("\nM-testing delay segments:")
+		for _, s := range report.M.Samples {
+			if s.SegmentsOK {
+				fmt.Printf("  #%d input=%v codeM=%v output=%v total=%v\n",
+					s.Index, s.Segments.InputDelay(), s.Segments.CodeDelay(),
+					s.Segments.OutputDelay(), s.Segments.Total())
+			}
+		}
+	}
+}

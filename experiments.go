@@ -1,0 +1,385 @@
+package rmtest
+
+import (
+	"fmt"
+	"time"
+
+	"rmtest/internal/core"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/gpca"
+	"rmtest/internal/platform"
+	"rmtest/internal/rta"
+	"rmtest/internal/sim"
+)
+
+// TableIOptions parameterises the Table I experiment.
+type TableIOptions struct {
+	// Samples is the number of test samples per scheme (the paper shows
+	// ten).
+	Samples int
+	// Seed drives the deterministic stimulus-phase jitter.
+	Seed uint64
+	// ForceM runs M-testing even for schemes whose R-testing passes, so
+	// the table can show segments for every scheme.
+	ForceM bool
+}
+
+// TableIExperiment reproduces the paper's Table I: the bolus-request
+// scenario of REQ1 executed on the three implementation schemes, with
+// R-testing delays for every sample and M-testing delay segments for the
+// violating ones.
+func TableIExperiment(opt TableIOptions) ([]Report, error) {
+	if opt.Samples <= 0 {
+		opt.Samples = 10
+	}
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N:        opt.Samples,
+		Start:    50 * time.Millisecond,
+		Spacing:  4500 * time.Millisecond, // clears the 4 s bolus + 1 s timeout
+		Strategy: core.JitteredSpacing,
+		Jitter:   200 * time.Millisecond,
+		Seed:     opt.Seed,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []func() platform.Scheme{
+		func() platform.Scheme { return platform.DefaultScheme1() },
+		func() platform.Scheme { return platform.DefaultScheme2() },
+		func() platform.Scheme { return platform.DefaultScheme3() },
+	}
+	var out []Report
+	for _, mk := range schemes {
+		runner, err := core.NewRunner(gpca.Factory(mk), req)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := runner.RunRM(tc, opt.ForceM)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Fig3Experiment reproduces the layered view of Fig. 3 for one bolus
+// request on the given scheme: the R-level (m, c) delay and the M-level
+// segment decomposition including the two transition delays.
+func Fig3Experiment(scheme Scheme) (Segments, error) {
+	sys, err := platform.NewSystem(gpca.PlatformConfig(), scheme, platform.MLevel)
+	if err != nil {
+		return Segments{}, err
+	}
+	defer sys.Shutdown()
+	sys.Env.PulseAt(40*time.Millisecond, gpca.SigBolusButton, 1, 0, gpca.ButtonPress)
+	sys.Run(time.Second)
+	spec := fourvar.MatchSpec{
+		MName: gpca.SigBolusButton, MPred: func(v int64) bool { return v == 1 },
+		IName: "i_BolusReq",
+		OName: "o_MotorState", OPred: func(v int64) bool { return v >= 1 },
+		CName: gpca.SigPumpMotor,
+	}
+	seg, ok := fourvar.Match(sys.Trace, sys.TransTrace, spec, 0)
+	if !ok {
+		return Segments{}, fmt.Errorf("rmtest: bolus chain not observed")
+	}
+	return seg, nil
+}
+
+// AblationInfo compares the diagnostic information produced by the
+// black-box baseline monitor [2] and the layered R-M flow on the same
+// violating execution (scheme 3).
+type AblationInfo struct {
+	BaselineViolations int
+	BaselineFacts      int // facts per violation: delay + verdict = 2
+	RMViolations       int
+	RMFacts            int // facts per violation: 3 segments + transitions + dominant
+	Findings           []Finding
+}
+
+// AblationBaselineVsRM runs the A1 ablation: the same stimuli are judged
+// by the baseline monitor (pass/fail only) and by R-M testing (segments
+// plus diagnosis), and the information yield is compared.
+func AblationBaselineVsRM(samples int, seed uint64) (AblationInfo, error) {
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: samples, Start: 50 * time.Millisecond,
+		Spacing: 4500 * time.Millisecond, Strategy: core.JitteredSpacing,
+		Jitter: 200 * time.Millisecond, Seed: seed,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		return AblationInfo{}, err
+	}
+	// Baseline pass.
+	sys, err := platform.NewSystem(gpca.PlatformConfig(), platform.DefaultScheme3(), platform.RLevel)
+	if err != nil {
+		return AblationInfo{}, err
+	}
+	mon, err := NewBaselineMonitor([]BaselineRule{{
+		Name:     req.ID,
+		Stimulus: req.Stimulus.Signal, StimOK: req.Stimulus.Match.Fn,
+		Response: req.Response.Signal, RespOK: req.Response.Match.Fn,
+		Bound: req.Bound, Timeout: req.EffectiveTimeout(),
+	}})
+	if err != nil {
+		sys.Shutdown()
+		return AblationInfo{}, err
+	}
+	mon.Attach(sys.Env)
+	for _, at := range tc.Stimuli {
+		sys.Env.PulseAt(at, req.Stimulus.Signal, 1, 0, req.Stimulus.Width)
+	}
+	sys.Run(tc.Horizon(req))
+	mon.Flush(sys.Kernel.Now())
+	sys.Shutdown()
+
+	// R-M pass.
+	runner, err := core.NewRunner(gpca.Factory(func() platform.Scheme { return platform.DefaultScheme3() }), req)
+	if err != nil {
+		return AblationInfo{}, err
+	}
+	rep, err := runner.RunRM(tc, false)
+	if err != nil {
+		return AblationInfo{}, err
+	}
+	info := AblationInfo{
+		BaselineViolations: len(mon.Violations()),
+		BaselineFacts:      2 * len(mon.Violations()),
+		RMViolations:       len(rep.R.Violations()),
+		Findings:           rep.Diagnosis,
+	}
+	if rep.M != nil {
+		for _, s := range rep.M.Samples {
+			if s.Verdict == core.Pass {
+				continue
+			}
+			if s.SegmentsOK {
+				info.RMFacts += 3 + len(s.Segments.Transitions) + 1
+			} else {
+				info.RMFacts += 1 // the MAX diagnosis itself
+			}
+		}
+	}
+	return info, nil
+}
+
+// SchemeAnalysis is the analytic (RTA) counterpart of R-testing for one
+// scheme configuration: per-task worst-case response times and the
+// end-to-end REQ1 latency bound of the sensing -> CODE(M) -> actuation
+// pipeline.
+type SchemeAnalysis struct {
+	Tasks []rta.Result
+	// Bound is the worst-case m -> c latency implied by the task set; a
+	// negative value means some pipeline task is not schedulable at all
+	// (unbounded latency).
+	Bound sim.Time
+	// PredictConforms reports Bound <= REQ1's 100 ms (and schedulability).
+	PredictConforms bool
+}
+
+// AnalyzePipeline runs response-time analysis for the scheme-2/3 pump
+// pipeline. WCETs reflect the default cost model: three sensor reads per
+// sense release, forty 1 ms chart ticks per CODE(M) release plus
+// transition costs, two actuator writes per actuation release. The
+// interference list is empty for scheme 2 and Scheme3.Interference for
+// scheme 3.
+func AnalyzePipeline(s *platform.Scheme2, interference []platform.InterferenceTask) (SchemeAnalysis, error) {
+	const (
+		senseWCET = 150 * time.Microsecond
+		codeWCET  = 1500 * time.Microsecond
+		actWCET   = 150 * time.Microsecond
+	)
+	tasks := []rta.Task{
+		{Name: "sense", Prio: s.SensePrio, Period: s.SensePeriod, WCET: senseWCET},
+		{Name: "codeM", Prio: s.CodePrio, Period: s.CodePeriod, WCET: codeWCET},
+		{Name: "actuate", Prio: s.ActPrio, Period: s.ActPeriod, WCET: actWCET},
+	}
+	for _, it := range interference {
+		tasks = append(tasks, rta.Task{Name: it.Name, Prio: it.Prio, Period: it.Period, WCET: it.Burst})
+	}
+	results, err := rta.Analyze(tasks)
+	if err != nil {
+		return SchemeAnalysis{}, err
+	}
+	an := SchemeAnalysis{Tasks: results}
+	rt := map[string]rta.Result{}
+	for _, r := range results {
+		rt[r.Task.Name] = r
+	}
+	for _, stage := range []string{"sense", "codeM", "actuate"} {
+		if !rt[stage].Schedulable {
+			an.Bound = -1
+			an.PredictConforms = false
+			return an, nil
+		}
+	}
+	// Device latencies: the button latch samples every 5 ms; the pump
+	// motor spins up in 3 ms (gpca.Board()).
+	an.Bound = rta.PipelineBound([]rta.Stage{
+		{Name: "latch", Period: 0, Response: 0, ExtraLatency: 5 * time.Millisecond},
+		{Name: "sense", Period: s.SensePeriod, Response: rt["sense"].Response},
+		{Name: "codeM", Period: s.CodePeriod, Response: rt["codeM"].Response},
+		{Name: "actuate", Period: s.ActPeriod, Response: rt["actuate"].Response, ExtraLatency: 3 * time.Millisecond},
+	})
+	an.PredictConforms = an.Bound <= gpca.REQ1().Bound
+	return an, nil
+}
+
+// MatrixCell is one (requirement, scheme) conformance result.
+type MatrixCell struct {
+	Requirement string
+	Scheme      string
+	Pass        int
+	Fail        int
+	Max         int
+}
+
+// Conforms reports whether every sample passed.
+func (c MatrixCell) Conforms() bool { return c.Fail == 0 && c.Max == 0 }
+
+// RequirementsMatrix runs every GPCA requirement against every
+// implementation scheme — the extended evaluation beyond the paper's
+// single-requirement Table I. REQ3 needs an active alarm, so its runner
+// scripts the empty-reservoir condition before each clear-button press.
+func RequirementsMatrix(samples int, seed uint64) ([]MatrixCell, error) {
+	if samples <= 0 {
+		samples = 5
+	}
+	schemes := []func() platform.Scheme{
+		func() platform.Scheme { return platform.DefaultScheme1() },
+		func() platform.Scheme { return platform.DefaultScheme2() },
+		func() platform.Scheme { return platform.DefaultScheme3() },
+	}
+	var out []MatrixCell
+	for _, req := range []core.Requirement{gpca.REQ1(), gpca.REQ2(), gpca.REQ3()} {
+		for _, mk := range schemes {
+			runner, err := core.NewRunner(gpca.Factory(mk), req)
+			if err != nil {
+				return nil, err
+			}
+			tc := core.TestCase{Name: req.ID}
+			switch req.ID {
+			case "REQ2":
+				// The empty condition is a persistent level; one sample.
+				tc.Stimuli = []sim.Time{100 * time.Millisecond}
+			case "REQ3":
+				// Alarm, then clear; alternate so each clear sees a fresh
+				// alarm. The stimulus signal is the clear button.
+				gen := core.Generator{
+					N: samples, Start: 500 * time.Millisecond,
+					Spacing:  2 * time.Second,
+					Strategy: core.JitteredSpacing, Jitter: 100 * time.Millisecond,
+					Seed: seed,
+				}
+				tc, err = gen.Generate(req)
+				if err != nil {
+					return nil, err
+				}
+				runner.Prepare = func(sys *platform.System, tcase core.TestCase) {
+					for _, at := range tcase.Stimuli {
+						// Raise the empty alarm 300 ms before each clear
+						// and drop the condition after, so the next cycle
+						// re-alarms.
+						sys.Env.PulseAt(at-300*time.Millisecond, gpca.SigReservoirEmpty, 1, 0, 600*time.Millisecond)
+					}
+				}
+			default:
+				gen := core.Generator{
+					N: samples, Start: 50 * time.Millisecond,
+					Spacing:  4500 * time.Millisecond,
+					Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
+					Seed: seed,
+				}
+				tc, err = gen.Generate(req)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err := runner.RunR(tc)
+			if err != nil {
+				return nil, err
+			}
+			cell := MatrixCell{Requirement: req.ID, Scheme: res.Scheme}
+			for _, s := range res.Samples {
+				switch s.Verdict {
+				case core.Pass:
+					cell.Pass++
+				case core.Fail:
+					cell.Fail++
+				case core.Max:
+					cell.Max++
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// SweepPoint is one configuration of the A2 sensitivity ablation.
+type SweepPoint struct {
+	Label      string
+	CodePeriod sim.Time
+	Mean       Segments // mean segments are reported via MeanInput etc.
+	MeanInput  sim.Time
+	MeanCode   sim.Time
+	MeanOutput sim.Time
+	MeanTotal  sim.Time
+	PassRate   float64
+}
+
+// AblationPeriodSweep runs the A2 ablation: REQ1 delay segments as a
+// function of the CODE(M) task period on the scheme-2 pipeline. It shows
+// the code-delay segment scaling with the period while input and output
+// segments stay put — the kind of design exploration the measured
+// segments enable.
+func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64) ([]SweepPoint, error) {
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: samples, Start: 50 * time.Millisecond,
+		Spacing: 4500 * time.Millisecond, Strategy: core.JitteredSpacing,
+		Jitter: 200 * time.Millisecond, Seed: seed,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, p := range periods {
+		period := p
+		factory := func(level platform.Instrument) (*platform.System, error) {
+			s := platform.DefaultScheme2()
+			s.CodePeriod = period
+			return platform.NewSystem(gpca.PlatformConfig(), s, level)
+		}
+		runner, err := core.NewRunner(factory, req)
+		if err != nil {
+			return nil, err
+		}
+		mres, err := runner.RunM(tc)
+		if err != nil {
+			return nil, err
+		}
+		agg := core.NewSegmentStats(mres)
+		pass := 0
+		for _, s := range mres.Samples {
+			if s.Verdict == core.Pass {
+				pass++
+			}
+		}
+		out = append(out, SweepPoint{
+			Label:      fmt.Sprintf("code=%v", period),
+			CodePeriod: period,
+			MeanInput:  agg.Input.Mean,
+			MeanCode:   agg.Code.Mean,
+			MeanOutput: agg.Output.Mean,
+			MeanTotal:  agg.Total.Mean,
+			PassRate:   float64(pass) / float64(len(mres.Samples)),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module rmtest
+
+go 1.22

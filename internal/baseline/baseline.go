@@ -1,0 +1,213 @@
+// Package baseline implements the comparison point the paper contrasts
+// its framework against (§I, citing Larsen/Mikucionis/Nielsen's online
+// UPPAAL testing): an online black-box conformance monitor that observes
+// only the boundary between the system and its environment.
+//
+// The monitor watches monitored and controlled signals while the system
+// runs and checks timed stimulus/response rules. Like the paper's account
+// of the prior work, it can detect THAT a timing requirement was violated
+// — but "it lacks the ability to measure internal time-delays occurring
+// in the implemented system such as input and output delay". The
+// ablation benchmarks quantify exactly that gap in diagnostic
+// information against the layered R-M flow.
+package baseline
+
+import (
+	"fmt"
+
+	"rmtest/internal/env"
+	"rmtest/internal/sim"
+)
+
+// Pred is a value predicate on signal changes.
+type Pred func(int64) bool
+
+// Rule is one timed stimulus/response expectation.
+type Rule struct {
+	Name     string
+	Stimulus string // monitored signal
+	StimOK   Pred
+	Response string // controlled signal
+	RespOK   Pred
+	Bound    sim.Time
+	// Timeout declares the observation window; a pending stimulus older
+	// than this is a timeout verdict. Zero defaults to 10x Bound.
+	Timeout sim.Time
+}
+
+func (r Rule) effectiveTimeout() sim.Time {
+	if r.Timeout > 0 {
+		return r.Timeout
+	}
+	return 10 * r.Bound
+}
+
+// Verdict is the monitor's judgement for one observed stimulus.
+type Verdict struct {
+	Rule       string
+	StimulusAt sim.Time
+	ResponseAt sim.Time
+	Responded  bool
+	Delay      sim.Time
+	Conforms   bool
+}
+
+func (v Verdict) String() string {
+	if !v.Responded {
+		return fmt.Sprintf("%s: stimulus@%v -> no response (timeout)", v.Rule, v.StimulusAt)
+	}
+	status := "conforms"
+	if !v.Conforms {
+		status = "VIOLATION"
+	}
+	return fmt.Sprintf("%s: stimulus@%v -> response@%v delay=%v %s", v.Rule, v.StimulusAt, v.ResponseAt, v.Delay, status)
+}
+
+type pending struct {
+	rule int
+	at   sim.Time
+}
+
+// Monitor is the online conformance checker.
+type Monitor struct {
+	rules    []Rule
+	pendings []pending
+	verdicts []Verdict
+	now      func() sim.Time
+}
+
+// NewMonitor creates a monitor for the given rules.
+func NewMonitor(rules []Rule) (*Monitor, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("baseline: monitor needs at least one rule")
+	}
+	for _, r := range rules {
+		if r.Name == "" || r.Stimulus == "" || r.Response == "" || r.StimOK == nil || r.RespOK == nil || r.Bound <= 0 {
+			return nil, fmt.Errorf("baseline: malformed rule %+v", r)
+		}
+	}
+	return &Monitor{rules: rules}, nil
+}
+
+// Attach wires the monitor onto the environment's signals. It observes
+// online, black-box: only m- and c-signal changes, nothing inside the
+// platform.
+func (mo *Monitor) Attach(e *env.Environment) {
+	mo.now = e.Kernel().Now
+	seen := map[string]bool{}
+	for i := range mo.rules {
+		r := &mo.rules[i]
+		if !seen[r.Stimulus] {
+			seen[r.Stimulus] = true
+			sig := r.Stimulus
+			e.Watch(sig, func(_ string, _, now int64, at sim.Time) {
+				mo.onStimulus(sig, now, at)
+			})
+		}
+		if !seen[r.Response] {
+			seen[r.Response] = true
+			sig := r.Response
+			e.Watch(sig, func(_ string, _, now int64, at sim.Time) {
+				mo.onResponse(sig, now, at)
+			})
+		}
+	}
+}
+
+func (mo *Monitor) onStimulus(sig string, v int64, at sim.Time) {
+	mo.expire(at)
+	for i, r := range mo.rules {
+		if r.Stimulus == sig && r.StimOK(v) {
+			mo.pendings = append(mo.pendings, pending{rule: i, at: at})
+		}
+		// A signal can be the response of one rule and the stimulus of
+		// another; check both roles.
+		if r.Response == sig && r.RespOK(v) {
+			mo.matchResponse(i, at)
+		}
+	}
+}
+
+func (mo *Monitor) onResponse(sig string, v int64, at sim.Time) {
+	mo.expire(at)
+	for i, r := range mo.rules {
+		if r.Response == sig && r.RespOK(v) {
+			mo.matchResponse(i, at)
+		}
+	}
+}
+
+// matchResponse discharges the oldest pending stimulus of the rule.
+func (mo *Monitor) matchResponse(rule int, at sim.Time) {
+	for i, p := range mo.pendings {
+		if p.rule != rule {
+			continue
+		}
+		mo.pendings = append(mo.pendings[:i], mo.pendings[i+1:]...)
+		d := at - p.at
+		mo.verdicts = append(mo.verdicts, Verdict{
+			Rule:       mo.rules[rule].Name,
+			StimulusAt: p.at,
+			ResponseAt: at,
+			Responded:  true,
+			Delay:      d,
+			Conforms:   d <= mo.rules[rule].Bound,
+		})
+		return
+	}
+}
+
+// expire converts over-age pendings into timeout verdicts.
+func (mo *Monitor) expire(now sim.Time) {
+	kept := mo.pendings[:0]
+	for _, p := range mo.pendings {
+		if now-p.at > mo.rules[p.rule].effectiveTimeout() {
+			mo.verdicts = append(mo.verdicts, Verdict{
+				Rule:       mo.rules[p.rule].Name,
+				StimulusAt: p.at,
+			})
+			continue
+		}
+		kept = append(kept, p)
+	}
+	mo.pendings = kept
+}
+
+// Flush finalises the run at the given instant: every still-pending
+// stimulus becomes a timeout verdict.
+func (mo *Monitor) Flush(now sim.Time) {
+	for _, p := range mo.pendings {
+		mo.verdicts = append(mo.verdicts, Verdict{
+			Rule:       mo.rules[p.rule].Name,
+			StimulusAt: p.at,
+		})
+	}
+	mo.pendings = nil
+	_ = now
+}
+
+// Verdicts returns all verdicts so far, in completion order.
+func (mo *Monitor) Verdicts() []Verdict {
+	return append([]Verdict(nil), mo.verdicts...)
+}
+
+// Conforms reports whether every verdict so far conforms.
+func (mo *Monitor) Conforms() bool {
+	for _, v := range mo.verdicts {
+		if !v.Responded || !v.Conforms {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the non-conforming verdicts.
+func (mo *Monitor) Violations() []Verdict {
+	var out []Verdict
+	for _, v := range mo.verdicts {
+		if !v.Responded || !v.Conforms {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,508 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rmtest/internal/statechart"
+)
+
+// ExecEnv provides platform services to the generated code. On the
+// simulated platform it is implemented by an adapter over rtos.Task, so
+// the cost of running CODE(M) is charged to the task that invokes it; a
+// nil ExecEnv executes in zero time (used for differential testing
+// against the model interpreter).
+type ExecEnv interface {
+	// Compute consumes d of CPU time on the executing task.
+	Compute(d time.Duration)
+	// Now returns the current virtual time.
+	Now() time.Duration
+}
+
+// Listener observes transition execution inside the generated step
+// function. M-testing attaches here to measure the paper's
+// Transition-Delays: the time from start to finish of each transition.
+// TransitionFinish additionally reports the output variables the
+// transition wrote, so o-events can be timestamped at the exact instant
+// CODE(M) produced them.
+type Listener interface {
+	TransitionStart(id int, label string, at time.Duration)
+	TransitionFinish(id int, label string, at time.Duration, changed []statechart.VarChange)
+}
+
+// CostModel maps generated-code structure to execution time on the target
+// platform. All charges flow through ExecEnv.Compute, so they are subject
+// to preemption by the RTOS exactly like real instruction streams.
+type CostModel struct {
+	// StepBase is charged once per step invocation (input latching, state
+	// lookup, scan overhead).
+	StepBase time.Duration
+	// PerGuardNode is charged per expression AST node for every guard
+	// evaluation attempt.
+	PerGuardNode time.Duration
+	// PerActionNode is charged per action AST node executed (entry, exit,
+	// transition and during actions).
+	PerActionNode time.Duration
+	// PerTransition is charged per taken transition on top of its action
+	// costs (table row update, active-state bookkeeping).
+	PerTransition time.Duration
+}
+
+// DefaultCostModel approximates a small micro-controller executing
+// generated C: tens of microseconds per step and per transition. The
+// absolute values are configuration; the testing framework's conclusions
+// depend only on their order of magnitude relative to task periods.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		StepBase:      20 * time.Microsecond,
+		PerGuardNode:  2 * time.Microsecond,
+		PerActionNode: 3 * time.Microsecond,
+		PerTransition: 40 * time.Microsecond,
+	}
+}
+
+// ZeroCostModel charges nothing; execution is instantaneous in virtual
+// time. Useful for functional differential tests.
+func ZeroCostModel() CostModel { return CostModel{} }
+
+// Exec executes a Program. It is the runtime shape of CODE(M): a variable
+// block, an active-state register and a step function driven by the
+// platform's tick.
+type Exec struct {
+	prog     *Program
+	cost     CostModel
+	env      ExecEnv
+	listener Listener
+
+	vars      []int64
+	active    int // active leaf state id
+	entryTick []int64
+	lastChild []int // per composite: history child id, -1 if none
+	tick      int64
+	stack     []int64
+
+	steps       uint64
+	transitions uint64
+}
+
+// NewExec creates an executor in the program's initial configuration.
+// env and listener may be nil.
+func NewExec(p *Program, cost CostModel, env ExecEnv, listener Listener) *Exec {
+	e := &Exec{
+		prog:      p,
+		cost:      cost,
+		env:       env,
+		listener:  listener,
+		vars:      make([]int64, len(p.Vars)),
+		entryTick: make([]int64, len(p.States)),
+		lastChild: make([]int, len(p.States)),
+		stack:     make([]int64, 0, 16),
+	}
+	e.Reset()
+	return e
+}
+
+// Reset returns the executor to the initial configuration.
+func (e *Exec) Reset() {
+	for i, v := range e.prog.Vars {
+		e.vars[i] = v.Init
+	}
+	for i := range e.entryTick {
+		e.entryTick[i] = 0
+		e.lastChild[i] = -1
+	}
+	e.tick = 0
+	e.steps = 0
+	e.transitions = 0
+	e.enterFrom(e.prog.InitState)
+}
+
+// descendChild picks the child to descend into, honouring shallow
+// history junctions.
+func (e *Exec) descendChild(sid int) int {
+	s := &e.prog.States[sid]
+	if s.History && e.lastChild[sid] >= 0 {
+		return e.lastChild[sid]
+	}
+	return s.Initial
+}
+
+// SetListener replaces the transition listener.
+func (e *Exec) SetListener(l Listener) { e.listener = l }
+
+// Program returns the executed program.
+func (e *Exec) Program() *Program { return e.prog }
+
+// ActiveState returns the name of the active leaf state.
+func (e *Exec) ActiveState() string { return e.prog.States[e.active].Name }
+
+// Tick returns the number of steps executed.
+func (e *Exec) Tick() int64 { return e.tick }
+
+// Steps returns the number of Step invocations.
+func (e *Exec) Steps() uint64 { return e.steps }
+
+// TransitionsTaken returns the total transitions fired.
+func (e *Exec) TransitionsTaken() uint64 { return e.transitions }
+
+// Get returns a variable value by name.
+func (e *Exec) Get(name string) int64 {
+	id, ok := e.prog.VarID(name)
+	if !ok {
+		panic(fmt.Sprintf("codegen: Get of unknown variable %q", name))
+	}
+	return e.vars[id]
+}
+
+// SetInput writes an input variable, as the platform's input-interfacing
+// code does before invoking the step function.
+func (e *Exec) SetInput(name string, v int64) {
+	id, ok := e.prog.VarID(name)
+	if !ok || e.prog.Vars[id].Kind != statechart.Input {
+		panic(fmt.Sprintf("codegen: SetInput of non-input %q", name))
+	}
+	e.vars[id] = v
+}
+
+// Vars returns a copy of the variable valuation keyed by name.
+func (e *Exec) Vars() map[string]int64 {
+	out := make(map[string]int64, len(e.vars))
+	for i, v := range e.prog.Vars {
+		out[v.Name] = e.vars[i]
+	}
+	return out
+}
+
+func (e *Exec) compute(d time.Duration) {
+	if e.env != nil && d > 0 {
+		e.env.Compute(d)
+	}
+}
+
+func (e *Exec) now() time.Duration {
+	if e.env != nil {
+		return e.env.Now()
+	}
+	return 0
+}
+
+// StepResult mirrors statechart.StepResult for the generated code.
+type StepResult struct {
+	Taken   []statechart.TakenTransition
+	Changed []statechart.VarChange
+	Err     error
+}
+
+// EventMask builds the event bitmask for Step from event names.
+func (e *Exec) EventMask(events ...string) uint64 {
+	var m uint64
+	for _, ev := range events {
+		id, ok := e.prog.EventID(ev)
+		if !ok {
+			panic(fmt.Sprintf("codegen: unknown event %q", ev))
+		}
+		m |= 1 << uint(id)
+	}
+	return m
+}
+
+// Step runs one invocation of the generated step function with the given
+// input events. Semantics mirror statechart.Machine exactly (super-step
+// with per-event consumption); in addition every charge of the cost model
+// flows through the ExecEnv and the listener observes each transition's
+// start and finish instants.
+func (e *Exec) Step(events uint64) StepResult {
+	e.steps++
+	e.compute(e.cost.StepBase)
+	before := e.snapshotOutputs()
+	var res StepResult
+	for n := 0; ; n++ {
+		if n >= statechart.MaxChain {
+			res.Err = fmt.Errorf("codegen %s: transition chain exceeded %d (livelock?)", e.prog.ChartName, statechart.MaxChain)
+			break
+		}
+		t := e.pickTransition(events, &res)
+		if t == nil || res.Err != nil {
+			break
+		}
+		if t.Trig.Kind == statechart.TrigEvent {
+			events &^= 1 << uint(t.Trig.Event)
+		}
+		e.fire(t, &res)
+	}
+	if len(res.Taken) == 0 && res.Err == nil {
+		for sid := e.active; sid >= 0; sid = e.prog.States[sid].Parent {
+			e.runAction(e.prog.States[sid].During, &res)
+		}
+	}
+	res.Changed = e.diffOutputs(before)
+	e.tick++
+	return res
+}
+
+func (e *Exec) pickTransition(events uint64, res *StepResult) *TransRow {
+	for sid := e.active; sid >= 0; sid = e.prog.States[sid].Parent {
+		for _, tid := range e.prog.States[sid].Trans {
+			t := &e.prog.Trans[tid]
+			if e.enabled(t, events, res) {
+				return t
+			}
+			if res.Err != nil {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Exec) enabled(t *TransRow, events uint64, res *StepResult) bool {
+	switch t.Trig.Kind {
+	case statechart.TrigEvent:
+		if events&(1<<uint(t.Trig.Event)) == 0 {
+			return false
+		}
+	case statechart.TrigAfter:
+		if e.ticksIn(t.From) < t.Trig.N {
+			return false
+		}
+	case statechart.TrigBefore:
+		if e.ticksIn(t.From) >= t.Trig.N {
+			return false
+		}
+	case statechart.TrigAt:
+		if e.ticksIn(t.From) != t.Trig.N {
+			return false
+		}
+	}
+	if t.Guard.Len == 0 {
+		return true
+	}
+	e.compute(time.Duration(t.Guard.Nodes) * e.cost.PerGuardNode)
+	v, err := e.run(t.Guard)
+	if err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		return false
+	}
+	return v != 0
+}
+
+func (e *Exec) ticksIn(sid int) int64 { return e.tick - e.entryTick[sid] }
+
+// fire executes one transition with instrumentation and cost charging.
+func (e *Exec) fire(t *TransRow, res *StepResult) {
+	var outsBefore map[string]int64
+	if e.listener != nil {
+		e.listener.TransitionStart(t.ID, t.Label, e.now())
+		outsBefore = e.snapshotOutputs()
+	}
+	e.compute(e.cost.PerTransition)
+	// Exit up from the active leaf to the transition source's scope,
+	// recording shallow history.
+	exitTo := e.prog.States[t.From].Parent
+	prev := -1
+	for sid := e.active; sid >= 0 && sid != exitTo; sid = e.prog.States[sid].Parent {
+		e.runAction(e.prog.States[sid].Exit, res)
+		if prev >= 0 && e.prog.States[sid].History {
+			e.lastChild[sid] = prev
+		}
+		prev = sid
+	}
+	e.runAction(t.Action, res)
+	e.enterChain(t.To, exitTo, res)
+	e.transitions++
+	res.Taken = append(res.Taken, statechart.TakenTransition{
+		Index: t.ID,
+		From:  e.prog.States[t.From].Name,
+		To:    e.prog.States[t.To].Name,
+		Label: t.Label,
+	})
+	if e.listener != nil {
+		e.listener.TransitionFinish(t.ID, t.Label, e.now(), e.diffOutputs(outsBefore))
+	}
+}
+
+func (e *Exec) enterChain(target, scope int, res *StepResult) {
+	var chain []int
+	for sid := target; sid >= 0 && sid != scope; sid = e.prog.States[sid].Parent {
+		chain = append(chain, sid)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		sid := chain[i]
+		e.entryTick[sid] = e.tick
+		e.runAction(e.prog.States[sid].Entry, res)
+	}
+	sid := target
+	for e.prog.States[sid].Initial >= 0 {
+		sid = e.descendChild(sid)
+		e.entryTick[sid] = e.tick
+		e.runAction(e.prog.States[sid].Entry, res)
+	}
+	e.active = sid
+}
+
+func (e *Exec) enterFrom(sid int) {
+	for {
+		e.entryTick[sid] = e.tick
+		e.runAction(e.prog.States[sid].Entry, nil)
+		if e.prog.States[sid].Initial < 0 {
+			e.active = sid
+			return
+		}
+		sid = e.descendChild(sid)
+	}
+}
+
+func (e *Exec) runAction(ref CodeRef, res *StepResult) {
+	if ref.Len == 0 {
+		return
+	}
+	e.compute(time.Duration(ref.Nodes) * e.cost.PerActionNode)
+	if _, err := e.run(ref); err != nil && res != nil && res.Err == nil {
+		res.Err = err
+	}
+}
+
+// run executes a code fragment on the VM and returns the top of stack
+// (0 when the fragment leaves the stack empty, as actions do).
+func (e *Exec) run(ref CodeRef) (int64, error) {
+	st := e.stack[:0]
+	pc := ref.PC
+	end := ref.PC + ref.Len
+	pop := func() int64 {
+		v := st[len(st)-1]
+		st = st[:len(st)-1]
+		return v
+	}
+	for pc < end {
+		in := e.prog.Code[pc]
+		pc++
+		switch in.Op {
+		case OpHalt:
+			pc = end
+		case OpPush:
+			st = append(st, in.A)
+		case OpLoad:
+			st = append(st, e.vars[in.A])
+		case OpStore:
+			e.vars[in.A] = pop()
+		case OpAdd:
+			r := pop()
+			st[len(st)-1] += r
+		case OpSub:
+			r := pop()
+			st[len(st)-1] -= r
+		case OpMul:
+			r := pop()
+			st[len(st)-1] *= r
+		case OpDiv:
+			r := pop()
+			if r == 0 {
+				return 0, fmt.Errorf("codegen %s: division by zero", e.prog.ChartName)
+			}
+			st[len(st)-1] /= r
+		case OpMod:
+			r := pop()
+			if r == 0 {
+				return 0, fmt.Errorf("codegen %s: modulo by zero", e.prog.ChartName)
+			}
+			st[len(st)-1] %= r
+		case OpNeg:
+			st[len(st)-1] = -st[len(st)-1]
+		case OpNot:
+			if st[len(st)-1] == 0 {
+				st[len(st)-1] = 1
+			} else {
+				st[len(st)-1] = 0
+			}
+		case OpEq:
+			r := pop()
+			st[len(st)-1] = b2i(st[len(st)-1] == r)
+		case OpNe:
+			r := pop()
+			st[len(st)-1] = b2i(st[len(st)-1] != r)
+		case OpLt:
+			r := pop()
+			st[len(st)-1] = b2i(st[len(st)-1] < r)
+		case OpLe:
+			r := pop()
+			st[len(st)-1] = b2i(st[len(st)-1] <= r)
+		case OpGt:
+			r := pop()
+			st[len(st)-1] = b2i(st[len(st)-1] > r)
+		case OpGe:
+			r := pop()
+			st[len(st)-1] = b2i(st[len(st)-1] >= r)
+		case OpAbs:
+			if st[len(st)-1] < 0 {
+				st[len(st)-1] = -st[len(st)-1]
+			}
+		case OpMin:
+			r := pop()
+			if r < st[len(st)-1] {
+				st[len(st)-1] = r
+			}
+		case OpMax:
+			r := pop()
+			if r > st[len(st)-1] {
+				st[len(st)-1] = r
+			}
+		case OpJmp:
+			pc = int(in.A) // jump targets are absolute pool indices
+		case OpJmpFalse:
+			if pop() == 0 {
+				pc = int(in.A)
+			}
+		case OpJmpTrue:
+			if pop() != 0 {
+				pc = int(in.A)
+			}
+		case OpDup:
+			st = append(st, st[len(st)-1])
+		case OpPop:
+			pop()
+		case OpBool:
+			st[len(st)-1] = b2i(st[len(st)-1] != 0)
+		default:
+			return 0, fmt.Errorf("codegen %s: bad opcode %v at pc %d", e.prog.ChartName, in.Op, pc-1)
+		}
+	}
+	e.stack = st[:0]
+	if len(st) == 0 {
+		return 0, nil
+	}
+	return st[len(st)-1], nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *Exec) snapshotOutputs() map[string]int64 {
+	out := make(map[string]int64)
+	for i, v := range e.prog.Vars {
+		if v.Kind == statechart.Output {
+			out[v.Name] = e.vars[i]
+		}
+	}
+	return out
+}
+
+func (e *Exec) diffOutputs(before map[string]int64) []statechart.VarChange {
+	var changes []statechart.VarChange
+	for i, v := range e.prog.Vars {
+		if v.Kind != statechart.Output {
+			continue
+		}
+		if old := before[v.Name]; e.vars[i] != old {
+			changes = append(changes, statechart.VarChange{Name: v.Name, From: old, To: e.vars[i]})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].Name < changes[j].Name })
+	return changes
+}

@@ -1,0 +1,141 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+)
+
+func histChart() *statechart.Chart {
+	return &statechart.Chart{
+		Name:       "hist",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"pause", "resume", "fast", "slow"},
+		Vars:       []statechart.VarDecl{{Name: "out", Type: statechart.Int, Kind: statechart.Output}},
+		Initial:    "Run",
+		States: []*statechart.State{
+			{
+				Name:    "Run",
+				Initial: "Slow",
+				History: true,
+				Transitions: []statechart.Transition{
+					{To: "Paused", Trigger: "pause"},
+				},
+				Children: []*statechart.State{
+					{Name: "Slow", Entry: "out := 1", Transitions: []statechart.Transition{
+						{To: "Fast", Trigger: "fast"},
+					}},
+					{Name: "Fast", Entry: "out := 2", Transitions: []statechart.Transition{
+						{To: "Slow", Trigger: "slow"},
+					}},
+				},
+			},
+			{
+				Name: "Paused",
+				Transitions: []statechart.Transition{
+					{To: "Run", Trigger: "resume"},
+				},
+			},
+		},
+	}
+}
+
+func TestExecHistoryMirrorsMachine(t *testing.T) {
+	cc, err := histChart().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExec(p, ZeroCostModel(), nil, nil)
+	seq := [][]string{{"fast"}, {"pause"}, {"resume"}, {"pause"}, {"resume"}, {"slow"}, {"pause"}, {"resume"}}
+	m := statechart.NewMachine(cc)
+	for i, evs := range seq {
+		m.Step(evs...)
+		e.Step(e.EventMask(evs...))
+		if m.ActiveState() != e.ActiveState() {
+			t.Fatalf("step %d (%v): %s vs %s", i, evs, m.ActiveState(), e.ActiveState())
+		}
+		if m.Get("out") != e.Get("out") {
+			t.Fatalf("step %d: out %d vs %d", i, m.Get("out"), e.Get("out"))
+		}
+	}
+	if e.ActiveState() != "Slow" {
+		t.Fatalf("final state %q", e.ActiveState())
+	}
+}
+
+// Property: the interpreter and the generated code agree on random event
+// sequences over the history chart.
+func TestDifferentialHistoryRandom(t *testing.T) {
+	events := []string{"pause", "resume", "fast", "slow"}
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%200) + 1
+		r := sim.NewRand(seed)
+		cc, err := histChart().Compile()
+		if err != nil {
+			return false
+		}
+		p, err := Generate(cc)
+		if err != nil {
+			return false
+		}
+		m := statechart.NewMachine(cc)
+		e := NewExec(p, ZeroCostModel(), nil, nil)
+		for i := 0; i < n; i++ {
+			var evs []string
+			for _, ev := range events {
+				if r.Bool(0.25) {
+					evs = append(evs, ev)
+				}
+			}
+			m.Step(evs...)
+			e.Step(e.EventMask(evs...))
+			if m.ActiveState() != e.ActiveState() || m.Get("out") != e.Get("out") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecHistoryReset(t *testing.T) {
+	cc, err := histChart().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExec(p, ZeroCostModel(), nil, nil)
+	e.Step(e.EventMask("fast"))
+	e.Step(e.EventMask("pause"))
+	e.Reset()
+	e.Step(e.EventMask("pause"))
+	e.Step(e.EventMask("resume"))
+	if e.ActiveState() != "Slow" {
+		t.Fatalf("reset should clear history, got %q", e.ActiveState())
+	}
+}
+
+func TestEmitGoRejectsHistory(t *testing.T) {
+	cc, err := histChart().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err = EmitGo(&b, cc, "gen")
+	if err == nil || !strings.Contains(err.Error(), "history") {
+		t.Fatalf("expected history-unsupported error, got %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package codegen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+)
+
+func optExpr(t *testing.T, src string) (orig, opt statechart.Expr) {
+	t.Helper()
+	e, err := statechart.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e, Optimize(e)
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"1 + 2 * 3", "7"},
+		{"(4 - 1) * (2 + 2)", "12"},
+		{"10 / 2", "5"},
+		{"10 % 3", "1"},
+		{"-(3 + 4)", "-7"},
+		{"!(1 > 2)", "true"},
+		{"3 < 5", "true"},
+		{"abs(-9)", "9"},
+		{"min(3, 1 + 1)", "2"},
+		{"max(3, 7)", "7"},
+		{"true && false", "false"},
+		{"false || true", "true"},
+	}
+	for _, c := range cases {
+		_, opt := optExpr(t, c.src)
+		if opt.String() != c.want {
+			t.Errorf("Optimize(%q) = %q, want %q", c.src, opt.String(), c.want)
+		}
+	}
+}
+
+func TestOptimizeAlgebraicIdentities(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"x + 0", "x"},
+		{"0 + x", "x"},
+		{"x - 0", "x"},
+		{"x * 1", "x"},
+		{"1 * x", "x"},
+		{"x * 0", "0"},
+		{"0 * x", "0"},
+		{"x / 1", "x"},
+		{"x % 1", "0"},
+		{"false && x > 0", "false"},
+		{"true || x > 0", "true"},
+		{"true && x > 0", "(x > 0)"},
+		{"false || x > 0", "(x > 0)"},
+		{"x > 0 || false", "(x > 0)"},
+		{"x && true", "(x != 0)"},
+	}
+	for _, c := range cases {
+		_, opt := optExpr(t, c.src)
+		if opt.String() != c.want {
+			t.Errorf("Optimize(%q) = %q, want %q", c.src, opt.String(), c.want)
+		}
+	}
+}
+
+func TestOptimizePreservesErrorBehaviour(t *testing.T) {
+	// x * 0 where x can divide by zero must NOT fold away.
+	_, opt := optExpr(t, "(1 / y) * 0")
+	if opt.String() == "0" {
+		t.Fatal("folded away a possibly-erroring subexpression")
+	}
+	env := func(string) (int64, bool) { return 0, true } // y = 0
+	if _, err := statechart.Eval(opt, env); err == nil {
+		t.Fatal("optimised expression lost the division-by-zero error")
+	}
+	// Division by a zero constant must stay a runtime error.
+	_, opt = optExpr(t, "5 / 0")
+	if _, err := statechart.Eval(opt, func(string) (int64, bool) { return 0, false }); err == nil {
+		t.Fatal("constant division by zero must remain an error")
+	}
+	// false && (1/0 == 0): the RHS is dead at runtime; folding to false
+	// is equivalence-preserving.
+	_, opt = optExpr(t, "false && 1 / 0 == 0")
+	if opt.String() != "false" {
+		t.Fatalf("dead branch not eliminated: %s", opt)
+	}
+}
+
+func TestOptimizeReducesNodeCount(t *testing.T) {
+	orig, opt := optExpr(t, "x * 1 + 0 * (a + b) + 2 * 3")
+	if statechart.NodeCount(opt) >= statechart.NodeCount(orig) {
+		t.Fatalf("no reduction: %d -> %d (%s)", statechart.NodeCount(orig), statechart.NodeCount(opt), opt)
+	}
+}
+
+// randExpr builds a random expression tree over variables a, b, c.
+func randExpr(r *sim.Rand, depth int) statechart.Expr {
+	if depth <= 0 || r.Bool(0.3) {
+		switch r.Intn(3) {
+		case 0:
+			return &statechart.NumLit{Value: int64(r.Intn(7)) - 3}
+		case 1:
+			return &statechart.BoolLit{Value: r.Bool(0.5)}
+		default:
+			return &statechart.Ref{Name: string(rune('a' + r.Intn(3)))}
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+	switch r.Intn(6) {
+	case 0:
+		return &statechart.Unary{Op: []string{"-", "!"}[r.Intn(2)], X: randExpr(r, depth-1)}
+	case 1:
+		name := []string{"abs", "min", "max"}[r.Intn(3)]
+		if name == "abs" {
+			return &statechart.Call{Name: name, Args: []statechart.Expr{randExpr(r, depth-1)}}
+		}
+		return &statechart.Call{Name: name, Args: []statechart.Expr{randExpr(r, depth-1), randExpr(r, depth-1)}}
+	default:
+		return &statechart.Binary{Op: ops[r.Intn(len(ops))], L: randExpr(r, depth-1), R: randExpr(r, depth-1)}
+	}
+}
+
+// Property: optimisation preserves both value and error status on random
+// expressions and environments.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, a, b, c int8) bool {
+		r := sim.NewRand(seed)
+		e := randExpr(r, 4)
+		opt := Optimize(e)
+		env := map[string]int64{"a": int64(a), "b": int64(b), "c": int64(c)}
+		look := func(n string) (int64, bool) { v, ok := env[n]; return v, ok }
+		v1, err1 := statechart.Eval(e, look)
+		v2, err2 := statechart.Eval(opt, look)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("error mismatch: %s -> %s (%v vs %v)", e, opt, err1, err2)
+			return false
+		}
+		if err1 == nil && v1 != v2 {
+			t.Logf("value mismatch: %s = %d vs %s = %d", e, v1, opt, v2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimisation is idempotent.
+func TestOptimizeIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		e := randExpr(r, 4)
+		once := Optimize(e)
+		twice := Optimize(once)
+		return once.String() == twice.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUsesOptimizer(t *testing.T) {
+	// A chart whose action is fully constant-foldable compiles to fewer
+	// instructions than the naive form would need.
+	c := &statechart.Chart{
+		Name:       "opt",
+		TickPeriod: 1,
+		Events:     []string{"e"},
+		Vars:       []statechart.VarDecl{{Name: "out", Type: statechart.Int, Kind: statechart.Output}},
+		Initial:    "A",
+		States: []*statechart.State{
+			{Name: "A", Transitions: []statechart.Transition{
+				{To: "B", Trigger: "e", Action: "out := 1 + 2 * 3 + 0"},
+			}},
+			{Name: "B"},
+		},
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The action should compile to exactly push 7; store; halt.
+	ref := p.Trans[0].Action
+	if ref.Len != 3 {
+		t.Fatalf("optimised action length %d, want 3:\n%s", ref.Len, p.Disassemble())
+	}
+	e := NewExec(p, ZeroCostModel(), nil, nil)
+	e.Step(e.EventMask("e"))
+	if e.Get("out") != 7 {
+		t.Fatalf("out=%d", e.Get("out"))
+	}
+}

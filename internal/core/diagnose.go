@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"rmtest/internal/sim"
+)
+
+// Segment identifies one of the paper's delay segments.
+type Segment int
+
+// Delay segments, in signal-flow order.
+const (
+	SegInput Segment = iota
+	SegCode
+	SegOutput
+	SegNone // used for MAX samples where no chain exists
+)
+
+func (s Segment) String() string {
+	switch s {
+	case SegInput:
+		return "input-delay"
+	case SegCode:
+		return "codeM-delay"
+	case SegOutput:
+		return "output-delay"
+	case SegNone:
+		return "none"
+	}
+	return fmt.Sprintf("Segment(%d)", int(s))
+}
+
+// Finding is one diagnosis for a violating sample: which delay segment
+// dominates the deviation and what that implicates on the platform.
+type Finding struct {
+	Sample   int
+	Verdict  Verdict
+	Dominant Segment
+	Share    float64 // dominant segment's share of the total delay
+	Detail   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("sample #%d [%v]: %s", f.Sample, f.Verdict, f.Detail)
+}
+
+// Diagnose turns M-testing measurements into findings for every
+// non-passing sample. This is the debugging payoff the paper motivates:
+// the measured delay-segments localise the timing deviation.
+func Diagnose(m MResult) []Finding {
+	var out []Finding
+	for _, s := range m.Samples {
+		if s.Verdict == Pass {
+			continue
+		}
+		f := Finding{Sample: s.Index, Verdict: s.Verdict}
+		switch {
+		case s.Verdict == Max && !s.MObserved:
+			f.Dominant = SegNone
+			f.Detail = "stimulus never registered as an m-event: the physical pulse ended before any sensing opportunity (check pulse width vs sensing availability under interference)"
+		case s.Verdict == Max && !s.IObserved:
+			f.Dominant = SegInput
+			f.Detail = "the stimulus never reached CODE(M) as an i-event: the Input-Device path lost it (sensing task blocked past the physical pulse, or input queue drop)"
+		case s.Verdict == Max:
+			f.Dominant = SegNone
+			f.Detail = fmt.Sprintf("CODE(M) read the i-event at %v but the response never appeared before timeout: CODE(M) execution or the output path starved", s.IEvent.At)
+		case !s.SegmentsOK:
+			f.Dominant = SegNone
+			f.Detail = "violation confirmed but the i/o chain could not be matched; CODE(M)-boundary events are missing"
+		default:
+			seg := s.Segments
+			total := seg.Total()
+			f.Dominant, f.Share = dominant(seg.InputDelay(), seg.CodeDelay(), seg.OutputDelay(), total)
+			switch f.Dominant {
+			case SegInput:
+				f.Detail = fmt.Sprintf("input-delay %v dominates the %v total (%.0f%%): the Input-Device path (sensor sampling + sensing-task latency + queueing into CODE(M)) is too slow or starved",
+					seg.InputDelay(), total, 100*f.Share)
+			case SegCode:
+				f.Detail = fmt.Sprintf("CODE(M)-delay %v dominates the %v total (%.0f%%): the CODE(M) task is preempted or released too rarely; transitions account for %v of it",
+					seg.CodeDelay(), total, 100*f.Share, seg.TransitionTotal())
+			case SegOutput:
+				f.Detail = fmt.Sprintf("output-delay %v dominates the %v total (%.0f%%): the Output-Device path (queueing to the actuation task + actuation latency) is too slow",
+					seg.OutputDelay(), total, 100*f.Share)
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func dominant(in, code, outd, total sim.Time) (Segment, float64) {
+	seg, max := SegInput, in
+	if code > max {
+		seg, max = SegCode, code
+	}
+	if outd > max {
+		seg, max = SegOutput, outd
+	}
+	if total <= 0 {
+		return seg, 0
+	}
+	return seg, float64(max) / float64(total)
+}
+
+// Stats summarises a set of durations.
+type Stats struct {
+	N                   int
+	Min, Max, Mean, P95 sim.Time
+}
+
+// NewStats computes summary statistics; an empty input yields zeros.
+func NewStats(ds []sim.Time) Stats {
+	if len(ds) == 0 {
+		return Stats{}
+	}
+	sorted := append([]sim.Time(nil), ds...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var sum sim.Time
+	for _, d := range sorted {
+		sum += d
+	}
+	idx := (95*len(sorted) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return Stats{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / sim.Time(len(sorted)),
+		P95:  sorted[idx],
+	}
+}
+
+func (s Stats) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%v mean=%v p95=%v max=%v", s.N, s.Min, s.Mean, s.P95, s.Max)
+}
+
+// SegmentStats aggregates M-testing measurements across the samples that
+// have full chains.
+type SegmentStats struct {
+	Input, Code, Output, Total Stats
+}
+
+// NewSegmentStats computes aggregate segment statistics.
+func NewSegmentStats(m MResult) SegmentStats {
+	var in, code, outd, tot []sim.Time
+	for _, s := range m.Samples {
+		if !s.SegmentsOK {
+			continue
+		}
+		in = append(in, s.Segments.InputDelay())
+		code = append(code, s.Segments.CodeDelay())
+		outd = append(outd, s.Segments.OutputDelay())
+		tot = append(tot, s.Segments.Total())
+	}
+	return SegmentStats{
+		Input:  NewStats(in),
+		Code:   NewStats(code),
+		Output: NewStats(outd),
+		Total:  NewStats(tot),
+	}
+}

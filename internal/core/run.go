@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"rmtest/internal/codegen"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/platform"
+	"rmtest/internal/sim"
+)
+
+// SystemFactory builds a fresh implemented system at the requested
+// instrumentation level. The testing framework owns the system's life
+// cycle: it creates one per run and shuts it down afterwards. Because the
+// whole stack is deterministic, the R-level and M-level runs of the same
+// test case execute identical schedules.
+type SystemFactory func(level platform.Instrument) (*platform.System, error)
+
+// SampleResult is the R-testing outcome for one stimulus.
+type SampleResult struct {
+	Index      int
+	StimulusAt sim.Time // scripted stimulus instant
+	MEvent     fourvar.Event
+	MObserved  bool
+	CEvent     fourvar.Event
+	CObserved  bool
+	Delay      sim.Time // c - m; meaningful when CObserved
+	Verdict    Verdict
+}
+
+func (s SampleResult) String() string {
+	if !s.CObserved {
+		return fmt.Sprintf("#%d m@%v -> MAX", s.Index, s.MEvent.At)
+	}
+	return fmt.Sprintf("#%d m@%v -> c@%v delay=%v %v", s.Index, s.MEvent.At, s.CEvent.At, s.Delay, s.Verdict)
+}
+
+// RResult is the outcome of R-testing one test case (goal G1).
+type RResult struct {
+	Requirement Requirement
+	Scheme      string
+	Case        TestCase
+	Samples     []SampleResult
+}
+
+// Passed reports whether every sample met the bound.
+func (r RResult) Passed() bool {
+	for _, s := range r.Samples {
+		if s.Verdict != Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the indices of non-passing samples.
+func (r RResult) Violations() []int {
+	var out []int
+	for _, s := range r.Samples {
+		if s.Verdict != Pass {
+			out = append(out, s.Index)
+		}
+	}
+	return out
+}
+
+// MSample is the M-testing measurement for one stimulus.
+type MSample struct {
+	SampleResult
+	Segments   fourvar.Segments
+	SegmentsOK bool
+	// IObserved reports whether the stimulus at least produced an i-event
+	// at the CODE(M) boundary within the timeout. For MAX samples this
+	// localises the loss: false means the Input-Device path never
+	// delivered the event; true means CODE(M) saw it but the response
+	// path starved.
+	IObserved bool
+	IEvent    fourvar.Event
+}
+
+// MResult is the outcome of M-testing one test case (goal G2).
+type MResult struct {
+	Requirement Requirement
+	Scheme      string
+	Case        TestCase
+	Samples     []MSample
+	// Program and TransTrace are retained from the M-level run so
+	// adequacy analysis (internal/coverage) can relate executed
+	// transitions to the generated code without re-running.
+	Program    *codegen.Program
+	TransTrace *fourvar.TransitionTrace
+}
+
+// Runner executes R- and M-testing against one implemented system
+// configuration.
+type Runner struct {
+	Factory SystemFactory
+	Req     Requirement
+	// Prepare, when set, scripts auxiliary environment behaviour for the
+	// test case before the run starts — e.g. an operator resetting the
+	// system between samples so every stimulus meets the precondition
+	// state. It runs identically for the R and M runs, preserving
+	// determinism.
+	Prepare func(sys *platform.System, tc TestCase)
+}
+
+// NewRunner validates the requirement and returns a runner.
+func NewRunner(factory SystemFactory, req Requirement) (*Runner, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("core: runner needs a system factory")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{Factory: factory, Req: req}, nil
+}
+
+// applyStimuli schedules the test case's stimuli on the system's
+// environment.
+func (r *Runner) applyStimuli(sys *platform.System, tc TestCase) {
+	st := r.Req.Stimulus
+	for _, at := range tc.Stimuli {
+		if st.Width > 0 {
+			sys.Env.PulseAt(at, st.Signal, st.Value, st.Rest, st.Width)
+		} else {
+			sys.Env.SetAt(at, st.Signal, st.Value)
+		}
+	}
+}
+
+// evaluate extracts per-sample verdicts from the trace.
+func (r *Runner) evaluate(sys *platform.System, tc TestCase) []SampleResult {
+	out := make([]SampleResult, 0, len(tc.Stimuli))
+	req := r.Req
+	for i, at := range tc.Stimuli {
+		s := SampleResult{Index: i, StimulusAt: at}
+		m, ok := sys.Trace.FirstAt(fourvar.Monitored, req.Stimulus.Signal, at, req.Stimulus.Match.Fn)
+		if !ok {
+			// The stimulus itself did not register as an m-event; treat
+			// as MAX with the scripted instant as the reference.
+			s.MEvent = fourvar.Event{Kind: fourvar.Monitored, Name: req.Stimulus.Signal, At: at}
+			s.Verdict = Max
+			out = append(out, s)
+			continue
+		}
+		s.MEvent = m
+		s.MObserved = true
+		c, ok := sys.Trace.FirstAt(fourvar.Controlled, req.Response.Signal, m.At, req.Response.Match.Fn)
+		if ok && c.At-m.At > req.EffectiveTimeout() {
+			ok = false // response attributable to a later cause
+		}
+		if !ok {
+			s.Verdict = Max
+			out = append(out, s)
+			continue
+		}
+		s.CEvent = c
+		s.CObserved = true
+		s.Delay = c.At - m.At
+		if s.Delay <= req.Bound {
+			s.Verdict = Pass
+		} else {
+			s.Verdict = Fail
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunR executes R-testing: the implemented system is exercised with the
+// test case's stimuli and each sample is judged against the bound using
+// only m- and c-events.
+func (r *Runner) RunR(tc TestCase) (RResult, error) {
+	sys, err := r.Factory(platform.RLevel)
+	if err != nil {
+		return RResult{}, err
+	}
+	defer sys.Shutdown()
+	r.applyStimuli(sys, tc)
+	if r.Prepare != nil {
+		r.Prepare(sys, tc)
+	}
+	sys.Run(tc.Horizon(r.Req))
+	return RResult{
+		Requirement: r.Req,
+		Scheme:      sys.SchemeName(),
+		Case:        tc,
+		Samples:     r.evaluate(sys, tc),
+	}, nil
+}
+
+// RunM executes M-testing: the same test case runs on a fresh system with
+// M-level instrumentation, and each sample's delay segments are matched
+// from the i/o-boundary trace. Determinism guarantees the schedule is
+// identical to the R run.
+func (r *Runner) RunM(tc TestCase) (MResult, error) {
+	sys, err := r.Factory(platform.MLevel)
+	if err != nil {
+		return MResult{}, err
+	}
+	defer sys.Shutdown()
+	r.applyStimuli(sys, tc)
+	if r.Prepare != nil {
+		r.Prepare(sys, tc)
+	}
+	sys.Run(tc.Horizon(r.Req))
+	base := r.evaluate(sys, tc)
+
+	mp := sys.Mapping()
+	iName := mp.MtoI[r.Req.Stimulus.Signal]
+	oName := ""
+	for o, c := range mp.OtoC {
+		if c == r.Req.Response.Signal {
+			oName = o
+		}
+	}
+	res := MResult{
+		Requirement: r.Req, Scheme: sys.SchemeName(), Case: tc,
+		Program: sys.Program(), TransTrace: sys.TransTrace,
+	}
+	for i, s := range base {
+		ms := MSample{SampleResult: s}
+		if s.MObserved && iName != "" {
+			if ie, ok := sys.Trace.FirstAt(fourvar.Input, iName, s.MEvent.At, nil); ok &&
+				ie.At-s.MEvent.At <= r.Req.EffectiveTimeout() {
+				ms.IObserved = true
+				ms.IEvent = ie
+			}
+		}
+		if s.MObserved && s.CObserved && iName != "" && oName != "" {
+			spec := fourvar.MatchSpec{
+				MName: r.Req.Stimulus.Signal, MPred: r.Req.Stimulus.Match.Fn,
+				IName: iName,
+				OName: oName, OPred: r.Req.Response.Match.Fn,
+				CName: r.Req.Response.Signal,
+			}
+			seg, ok := fourvar.Match(sys.Trace, sys.TransTrace, spec, tc.Stimuli[i])
+			ms.Segments = seg
+			ms.SegmentsOK = ok
+		}
+		res.Samples = append(res.Samples, ms)
+	}
+	return res, nil
+}
+
+// Report is the outcome of the layered R->M flow.
+type Report struct {
+	R RResult
+	// M is populated when R-testing found violations (or when forced).
+	M *MResult
+	// Diagnosis lists human-readable findings per violating sample.
+	Diagnosis []Finding
+}
+
+// RunRM performs the paper's layered flow: R-testing first; if any sample
+// violates the requirement, M-testing follows and the delay segments are
+// diagnosed. Set force to run M-testing even when R-testing passes.
+func (r *Runner) RunRM(tc TestCase, force bool) (Report, error) {
+	rres, err := r.RunR(tc)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{R: rres}
+	if rres.Passed() && !force {
+		return rep, nil
+	}
+	mres, err := r.RunM(tc)
+	if err != nil {
+		return rep, err
+	}
+	rep.M = &mres
+	rep.Diagnosis = Diagnose(mres)
+	return rep, nil
+}

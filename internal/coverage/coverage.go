@@ -1,0 +1,339 @@
+// Package coverage implements the test-adequacy measurement the paper
+// leaves as future work (§V): "we plan to study test coverage and test
+// sufficiency from which test cases can be systematically generated in
+// order to automate the proposed R-M testing".
+//
+// Four adequacy dimensions are measured for an executed R-M test suite:
+//
+//   - Transition coverage: which transitions of CODE(M) executed (from
+//     the M-level transition trace).
+//   - State coverage: which chart states were entered.
+//   - Phase coverage: how uniformly the stimulus instants covered the
+//     phase space of a platform period — timing violations live at
+//     particular alignments, so a suite that probes few phases can miss
+//     them even with many samples.
+//   - Boundary coverage: whether the suite produced delays close to the
+//     requirement bound (boundary-value adequacy for timing).
+//
+// Suggest closes the loop: it proposes additional stimulus instants that
+// target uncovered phase bins, systematically extending a test case until
+// the phase space is covered.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rmtest/internal/codegen"
+	"rmtest/internal/core"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+)
+
+// TransitionCoverage reports which generated-code transitions executed.
+type TransitionCoverage struct {
+	Total     int
+	Covered   int
+	Counts    map[string]int // label -> execution count
+	Uncovered []string       // labels never executed, sorted
+}
+
+// Ratio returns covered/total in [0,1]; 0 for an empty chart.
+func (tc TransitionCoverage) Ratio() float64 {
+	if tc.Total == 0 {
+		return 0
+	}
+	return float64(tc.Covered) / float64(tc.Total)
+}
+
+// Transitions measures transition coverage of prog from the M-level
+// transition trace.
+func Transitions(prog *codegen.Program, tt *fourvar.TransitionTrace) TransitionCoverage {
+	out := TransitionCoverage{
+		Total:  len(prog.Trans),
+		Counts: make(map[string]int, len(prog.Trans)),
+	}
+	counts := make(map[int]int)
+	for _, r := range tt.Records() {
+		counts[r.Index]++
+	}
+	for _, t := range prog.Trans {
+		n := counts[t.ID]
+		out.Counts[t.Label] = n
+		if n > 0 {
+			out.Covered++
+		} else {
+			out.Uncovered = append(out.Uncovered, t.Label)
+		}
+	}
+	sort.Strings(out.Uncovered)
+	return out
+}
+
+// StateCoverage reports which chart states were entered.
+type StateCoverage struct {
+	Total     int
+	Covered   int
+	Uncovered []string
+}
+
+// Ratio returns covered/total in [0,1].
+func (sc StateCoverage) Ratio() float64 {
+	if sc.Total == 0 {
+		return 0
+	}
+	return float64(sc.Covered) / float64(sc.Total)
+}
+
+// States measures state coverage: the initial configuration plus every
+// transition target (and source) seen in the trace.
+func States(prog *codegen.Program, tt *fourvar.TransitionTrace) StateCoverage {
+	entered := make(map[int]bool)
+	// The initial chain is always entered.
+	for sid := prog.InitState; sid >= 0; {
+		entered[sid] = true
+		sid = prog.States[sid].Initial
+	}
+	for _, r := range tt.Records() {
+		if r.Index < 0 || r.Index >= len(prog.Trans) {
+			continue
+		}
+		t := prog.Trans[r.Index]
+		entered[t.From] = true
+		// Entering the target enters its initial chain too.
+		for sid := t.To; sid >= 0; {
+			entered[sid] = true
+			sid = prog.States[sid].Initial
+		}
+	}
+	// Parents of entered states are entered.
+	for sid := range entered {
+		for p := prog.States[sid].Parent; p >= 0; p = prog.States[p].Parent {
+			entered[p] = true
+		}
+	}
+	out := StateCoverage{Total: len(prog.States)}
+	for _, s := range prog.States {
+		if entered[s.ID] {
+			out.Covered++
+		} else {
+			out.Uncovered = append(out.Uncovered, s.Name)
+		}
+	}
+	sort.Strings(out.Uncovered)
+	return out
+}
+
+// PhaseCoverage reports how the stimulus instants are distributed over
+// the phase space of a platform period.
+type PhaseCoverage struct {
+	Period sim.Time
+	Bins   []int // hit count per bin
+}
+
+// Ratio returns the fraction of non-empty bins.
+func (pc PhaseCoverage) Ratio() float64 {
+	if len(pc.Bins) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, n := range pc.Bins {
+		if n > 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pc.Bins))
+}
+
+// EmptyBins returns the indices of uncovered phase bins.
+func (pc PhaseCoverage) EmptyBins() []int {
+	var out []int
+	for i, n := range pc.Bins {
+		if n == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Phases bins the stimulus instants by their phase within period.
+func Phases(stimuli []sim.Time, period sim.Time, bins int) PhaseCoverage {
+	if bins <= 0 {
+		bins = 10
+	}
+	pc := PhaseCoverage{Period: period, Bins: make([]int, bins)}
+	if period <= 0 {
+		return pc
+	}
+	for _, at := range stimuli {
+		phase := at % period
+		idx := int(int64(phase) * int64(bins) / int64(period))
+		if idx >= bins {
+			idx = bins - 1
+		}
+		pc.Bins[idx]++
+	}
+	return pc
+}
+
+// BoundaryCoverage reports how close the observed delays came to the
+// requirement bound.
+type BoundaryCoverage struct {
+	Bound sim.Time
+	// NearBound counts samples whose delay lies within Tolerance of the
+	// bound (on either side) — the samples that actually probe the
+	// requirement's edge.
+	NearBound int
+	Tolerance float64
+	Samples   int
+	// ClosestBelow / ClosestAbove are the delays bracketing the bound
+	// most tightly (zero when no sample on that side).
+	ClosestBelow sim.Time
+	ClosestAbove sim.Time
+}
+
+// Adequate reports whether the suite probed the boundary at all.
+func (bc BoundaryCoverage) Adequate() bool { return bc.NearBound > 0 }
+
+// Boundary measures boundary-value adequacy of the R-testing samples.
+func Boundary(samples []core.SampleResult, bound sim.Time, tolerance float64) BoundaryCoverage {
+	if tolerance <= 0 {
+		tolerance = 0.2
+	}
+	bc := BoundaryCoverage{Bound: bound, Tolerance: tolerance}
+	lo := sim.Time(float64(bound) * (1 - tolerance))
+	hi := sim.Time(float64(bound) * (1 + tolerance))
+	for _, s := range samples {
+		if !s.CObserved {
+			continue
+		}
+		bc.Samples++
+		if s.Delay >= lo && s.Delay <= hi {
+			bc.NearBound++
+		}
+		if s.Delay <= bound && (bc.ClosestBelow == 0 || s.Delay > bc.ClosestBelow) {
+			bc.ClosestBelow = s.Delay
+		}
+		if s.Delay > bound && (bc.ClosestAbove == 0 || s.Delay < bc.ClosestAbove) {
+			bc.ClosestAbove = s.Delay
+		}
+	}
+	return bc
+}
+
+// Report aggregates all four adequacy dimensions for one executed suite.
+type Report struct {
+	Transitions TransitionCoverage
+	States      StateCoverage
+	Phase       PhaseCoverage
+	Boundary    BoundaryCoverage
+}
+
+// Measure computes the full adequacy report for an executed M-testing
+// run. phasePeriod should be the platform period whose alignment matters
+// most (typically the CODE(M) task period); bins controls phase
+// granularity.
+func Measure(prog *codegen.Program, tt *fourvar.TransitionTrace, m core.MResult, phasePeriod sim.Time, bins int) Report {
+	var stimuli []sim.Time
+	for _, s := range m.Samples {
+		stimuli = append(stimuli, s.StimulusAt)
+	}
+	var samples []core.SampleResult
+	for _, s := range m.Samples {
+		samples = append(samples, s.SampleResult)
+	}
+	return Report{
+		Transitions: Transitions(prog, tt),
+		States:      States(prog, tt),
+		Phase:       Phases(stimuli, phasePeriod, bins),
+		Boundary:    Boundary(samples, m.Requirement.Bound, 0.2),
+	}
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transition coverage: %d/%d (%.0f%%)", r.Transitions.Covered, r.Transitions.Total, 100*r.Transitions.Ratio())
+	if len(r.Transitions.Uncovered) > 0 {
+		fmt.Fprintf(&b, " uncovered: %s", strings.Join(r.Transitions.Uncovered, ", "))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "state coverage:      %d/%d (%.0f%%)", r.States.Covered, r.States.Total, 100*r.States.Ratio())
+	if len(r.States.Uncovered) > 0 {
+		fmt.Fprintf(&b, " uncovered: %s", strings.Join(r.States.Uncovered, ", "))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "phase coverage:      %.0f%% of %d bins over %v\n", 100*r.Phase.Ratio(), len(r.Phase.Bins), r.Phase.Period)
+	fmt.Fprintf(&b, "boundary coverage:   %d/%d samples within %.0f%% of the %v bound",
+		r.Boundary.NearBound, r.Boundary.Samples, 100*r.Boundary.Tolerance, r.Boundary.Bound)
+	if r.Boundary.ClosestBelow > 0 || r.Boundary.ClosestAbove > 0 {
+		fmt.Fprintf(&b, " (closest %v / %v)", r.Boundary.ClosestBelow, r.Boundary.ClosestAbove)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// TransitionHints explains how to reach each uncovered transition: which
+// state to drive the system into and which event or dwell time fires the
+// transition. Together with Suggest (phase coverage) it closes the
+// systematic-generation loop of the paper's future work: uncovered
+// structure maps directly to new test scenarios.
+func TransitionHints(prog *codegen.Program, tc TransitionCoverage) []string {
+	var out []string
+	uncovered := make(map[string]bool, len(tc.Uncovered))
+	for _, label := range tc.Uncovered {
+		uncovered[label] = true
+	}
+	for _, t := range prog.Trans {
+		if !uncovered[t.Label] {
+			continue
+		}
+		from := prog.States[t.From].Name
+		var how string
+		switch t.Trig.Kind {
+		case statechart.TrigEvent:
+			how = fmt.Sprintf("raise %s while in %s", prog.Events[t.Trig.Event], from)
+		case statechart.TrigAfter:
+			how = fmt.Sprintf("dwell in %s for at least %d ticks", from, t.Trig.N)
+		case statechart.TrigAt:
+			how = fmt.Sprintf("dwell in %s for exactly %d ticks", from, t.Trig.N)
+		case statechart.TrigBefore:
+			how = fmt.Sprintf("enter %s (fires within %d ticks of entry)", from, t.Trig.N)
+		default:
+			how = fmt.Sprintf("reach %s (transition is unguarded by events)", from)
+		}
+		if t.Guard.Len > 0 {
+			how += " with its guard satisfied"
+		}
+		out = append(out, fmt.Sprintf("%s: %s", t.Label, how))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suggest proposes additional stimulus instants that target the empty
+// phase bins, appended after the existing test case with the given
+// spacing. This is the "systematic generation" direction of the paper's
+// future work: iterate Measure -> Suggest -> re-run until the phase
+// space is covered.
+func Suggest(pc PhaseCoverage, after sim.Time, spacing sim.Time) []sim.Time {
+	if pc.Period <= 0 || len(pc.Bins) == 0 || spacing <= 0 {
+		return nil
+	}
+	var out []sim.Time
+	next := after + spacing
+	for _, bin := range pc.EmptyBins() {
+		// Target the bin's centre phase.
+		phase := sim.Time((int64(bin)*int64(pc.Period) + int64(pc.Period)/2) / int64(len(pc.Bins)))
+		base := next - (next % pc.Period) // align, then add the phase
+		at := base + phase
+		for at <= next {
+			at += pc.Period
+		}
+		out = append(out, at)
+		next = at + spacing
+	}
+	return out
+}

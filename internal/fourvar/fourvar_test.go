@@ -1,0 +1,272 @@
+package fourvar
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rmtest/internal/sim"
+)
+
+const ms = time.Millisecond
+
+func TestTraceRecordAndQuery(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	tr.Record(Input, "i_Btn", 1, 14*ms)
+	tr.Record(Output, "o_Motor", 1, 16*ms)
+	tr.Record(Controlled, "motor", 1, 19*ms)
+	if tr.Len() != 4 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	if got := tr.Of(Monitored, "btn"); len(got) != 1 || got[0].At != 10*ms {
+		t.Fatalf("Of=%v", got)
+	}
+	e, ok := tr.FirstAt(Output, "o_Motor", 15*ms, nil)
+	if !ok || e.At != 16*ms {
+		t.Fatalf("FirstAt=%v %v", e, ok)
+	}
+	if _, ok := tr.FirstAt(Output, "o_Motor", 17*ms, nil); ok {
+		t.Fatal("should not find event before window")
+	}
+}
+
+func TestTraceFirstAtPredicate(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Output, "o", 0, ms)
+	tr.Record(Output, "o", 1, 2*ms)
+	e, ok := tr.FirstAt(Output, "o", 0, func(v int64) bool { return v == 1 })
+	if !ok || e.At != 2*ms {
+		t.Fatalf("e=%v ok=%v", e, ok)
+	}
+}
+
+func TestTraceOutOfOrderPanics(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "x", 1, 10*ms)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Record(Monitored, "x", 0, 5*ms)
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "x", 1, 10*ms)
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+	tr.Record(Monitored, "x", 1, ms) // earlier time is fine after reset
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	if !strings.Contains(tr.String(), "m-btn=1") {
+		t.Fatalf("string: %q", tr.String())
+	}
+}
+
+func TestTransitionTrace(t *testing.T) {
+	tt := NewTransitionTrace()
+	tt.Start(0, "A->B", 5*ms)
+	tt.Finish(0, "A->B", 7*ms, []string{"o_x"})
+	tt.Start(1, "B->C", 7*ms)
+	tt.Finish(1, "B->C", 11*ms, nil)
+	recs := tt.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recs=%v", recs)
+	}
+	if recs[0].Duration() != 2*ms || recs[1].Duration() != 4*ms {
+		t.Fatalf("durations %v %v", recs[0].Duration(), recs[1].Duration())
+	}
+	if got := tt.Between(6*ms, 8*ms); len(got) != 1 || got[0].Label != "B->C" {
+		t.Fatalf("between=%v", got)
+	}
+	tt.Reset()
+	if len(tt.Records()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	good := Mapping{
+		MtoI: map[string]string{"btn": "i_Btn"},
+		OtoC: map[string]string{"o_Motor": "motor"},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Mapping{}).Validate(); err == nil {
+		t.Fatal("empty mapping should fail")
+	}
+	dup := Mapping{
+		MtoI: map[string]string{"a": "i", "b": "i"},
+		OtoC: map[string]string{"o": "c"},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate i mapping should fail")
+	}
+	dup2 := Mapping{
+		MtoI: map[string]string{"a": "i"},
+		OtoC: map[string]string{"o1": "c", "o2": "c"},
+	}
+	if err := dup2.Validate(); err == nil {
+		t.Fatal("duplicate c mapping should fail")
+	}
+}
+
+func TestMappingNamesSorted(t *testing.T) {
+	mp := Mapping{
+		MtoI: map[string]string{"z": "iz", "a": "ia"},
+		OtoC: map[string]string{"o2": "c2", "o1": "c1"},
+	}
+	if got := mp.MNames(); got[0] != "a" || got[1] != "z" {
+		t.Fatalf("MNames=%v", got)
+	}
+	if got := mp.ONames(); got[0] != "o1" {
+		t.Fatalf("ONames=%v", got)
+	}
+}
+
+func chainTrace() (*Trace, *TransitionTrace) {
+	tr := NewTrace()
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	tr.Record(Input, "i_Btn", 1, 22*ms)
+	tr.Record(Output, "o_Motor", 1, 25*ms)
+	tr.Record(Controlled, "motor", 1, 31*ms)
+	tt := NewTransitionTrace()
+	tt.Start(0, "Idle->Req", 22*ms)
+	tt.Finish(0, "Idle->Req", 23*ms, nil)
+	tt.Start(1, "Req->Inf", 23*ms)
+	tt.Finish(1, "Req->Inf", 25*ms, []string{"o_Motor"})
+	return tr, tt
+}
+
+func chainSpec() MatchSpec {
+	return MatchSpec{
+		MName: "btn", MPred: func(v int64) bool { return v == 1 },
+		IName: "i_Btn",
+		OName: "o_Motor", OPred: func(v int64) bool { return v == 1 },
+		CName: "motor",
+	}
+}
+
+func TestMatchFullChain(t *testing.T) {
+	tr, tt := chainTrace()
+	s, ok := Match(tr, tt, chainSpec(), 0)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if s.InputDelay() != 12*ms || s.CodeDelay() != 3*ms || s.OutputDelay() != 6*ms || s.Total() != 21*ms {
+		t.Fatalf("segments: %v", s)
+	}
+	if len(s.Transitions) != 2 || s.TransitionTotal() != 3*ms {
+		t.Fatalf("transitions: %v", s.Transitions)
+	}
+	// The segment identity: total = input + code + output.
+	if s.InputDelay()+s.CodeDelay()+s.OutputDelay() != s.Total() {
+		t.Fatal("segment identity violated")
+	}
+}
+
+func TestMatchMissingLinks(t *testing.T) {
+	spec := chainSpec()
+	// No c-event.
+	tr := NewTrace()
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	tr.Record(Input, "i_Btn", 1, 22*ms)
+	tr.Record(Output, "o_Motor", 1, 25*ms)
+	if _, ok := Match(tr, nil, spec, 0); ok {
+		t.Fatal("match should fail without c-event")
+	}
+	// No m-event at all.
+	if _, ok := Match(NewTrace(), nil, spec, 0); ok {
+		t.Fatal("match should fail without m-event")
+	}
+}
+
+func TestMatchSelectsStimulusWindow(t *testing.T) {
+	tr := NewTrace()
+	tt := NewTransitionTrace()
+	// Two consecutive bolus requests.
+	for i, base := range []sim.Time{0, 200 * ms} {
+		tr.Record(Monitored, "btn", 1, base+10*ms)
+		tr.Record(Input, "i_Btn", 1, base+20*ms)
+		tr.Record(Output, "o_Motor", 1, base+24*ms)
+		tr.Record(Controlled, "motor", 1, base+30*ms)
+		_ = i
+	}
+	s, ok := Match(tr, tt, chainSpec(), 150*ms)
+	if !ok || s.M.At != 210*ms || s.C.At != 230*ms {
+		t.Fatalf("s=%v ok=%v", s, ok)
+	}
+}
+
+func TestSegmentsString(t *testing.T) {
+	tr, tt := chainTrace()
+	s, _ := Match(tr, tt, chainSpec(), 0)
+	str := s.String()
+	for _, want := range []string{"input=12ms", "code=3ms", "output=6ms", "total=21ms", "Req->Inf"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+// Property: for any monotone chain of timestamps, Match recovers exactly
+// the segments implied by the recorded instants, and the identity
+// total == input+code+output holds.
+func TestMatchPropertySegmentIdentity(t *testing.T) {
+	f := func(d1, d2, d3 uint16, off uint16) bool {
+		m := sim.Time(off) * ms
+		i := m + sim.Time(d1)*ms
+		o := i + sim.Time(d2)*ms
+		c := o + sim.Time(d3)*ms
+		tr := NewTrace()
+		tr.Record(Monitored, "btn", 1, m)
+		tr.Record(Input, "i_Btn", 1, i)
+		tr.Record(Output, "o_Motor", 1, o)
+		tr.Record(Controlled, "motor", 1, c)
+		s, ok := Match(tr, nil, chainSpec(), 0)
+		if !ok {
+			return false
+		}
+		return s.InputDelay() == sim.Time(d1)*ms &&
+			s.CodeDelay() == sim.Time(d2)*ms &&
+			s.OutputDelay() == sim.Time(d3)*ms &&
+			s.Total() == s.InputDelay()+s.CodeDelay()+s.OutputDelay()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Monitored.String() != "m" || Input.String() != "i" || Output.String() != "o" || Controlled.String() != "c" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestTransitionTraceFinishWithoutStart(t *testing.T) {
+	tt := NewTransitionTrace()
+	tt.Finish(3, "X->Y", 5*ms, nil)
+	recs := tt.Records()
+	if len(recs) != 1 || recs[0].Duration() != 0 {
+		t.Fatalf("recs=%v", recs)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "x", 1, ms)
+	evs := tr.Events()
+	evs[0].Value = 99
+	if tr.Events()[0].Value != 1 {
+		t.Fatal("Events must return a copy")
+	}
+}

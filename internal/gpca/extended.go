@@ -1,0 +1,168 @@
+package gpca
+
+import (
+	"time"
+
+	"rmtest/internal/codegen"
+	"rmtest/internal/hw"
+	"rmtest/internal/platform"
+	"rmtest/internal/statechart"
+)
+
+// Extended-board signal names.
+const (
+	SigPowerButton = "sig_power_button"
+	SigStartButton = "sig_start_button"
+	SigStopButton  = "sig_stop_button"
+	SigOcclusion   = "sig_occlusion"
+	SigDoor        = "sig_door"
+	SigBasalDial   = "sig_basal_dial"
+	SigAlarmLED    = "sig_alarm_led"
+)
+
+// ExtendedChart returns a larger GPCA software model covering more of the
+// GPCA safety-requirement families than Fig. 2: power-on self test, basal
+// infusion, bolus infusion as a sub-mode, a paused mode, and an alarm
+// composite with empty-reservoir, occlusion and door-open conditions. It
+// exercises hierarchical states in the toolchain and powers the extended
+// examples.
+func ExtendedChart() *statechart.Chart {
+	return &statechart.Chart{
+		Name:       "gpca_ext",
+		TickPeriod: time.Millisecond,
+		Events: []string{
+			"i_PowerOn", "i_Start", "i_Stop", "i_BolusReq",
+			"i_EmptyAlarm", "i_OcclusionAlarm", "i_DoorOpen", "i_ClearAlarm",
+		},
+		Vars: []statechart.VarDecl{
+			{Name: "o_MotorState", Type: statechart.Int, Kind: statechart.Output},
+			{Name: "o_BuzzerState", Type: statechart.Bool, Kind: statechart.Output},
+			{Name: "o_AlarmLED", Type: statechart.Int, Kind: statechart.Output},
+			{Name: "basal_rate", Type: statechart.Int, Kind: statechart.Input},
+			{Name: "bolus_count", Type: statechart.Int, Kind: statechart.Local},
+		},
+		Initial: "Off",
+		States: []*statechart.State{
+			{
+				Name: "Off",
+				Transitions: []statechart.Transition{
+					{To: "SelfTest", Trigger: "i_PowerOn"},
+				},
+			},
+			{
+				Name:  "SelfTest",
+				Entry: "o_AlarmLED := 1", // LED test pattern
+				Exit:  "o_AlarmLED := 0",
+				Transitions: []statechart.Transition{
+					{To: "Ready", Trigger: "after(500, E_CLK)"},
+				},
+			},
+			{
+				Name: "Ready",
+				Transitions: []statechart.Transition{
+					{To: "Infusing", Trigger: "i_Start", Guard: "basal_rate > 0"},
+					{To: "Alarm", Trigger: "i_EmptyAlarm",
+						Action: "o_BuzzerState := 1; o_AlarmLED := 1"},
+				},
+			},
+			{
+				Name:    "Infusing",
+				Initial: "Basal",
+				Entry:   "o_MotorState := basal_rate",
+				Exit:    "o_MotorState := 0",
+				Transitions: []statechart.Transition{
+					{To: "Paused", Trigger: "i_Stop"},
+					{To: "Alarm", Trigger: "i_EmptyAlarm",
+						Action: "o_BuzzerState := 1; o_AlarmLED := 1"},
+					{To: "Alarm", Trigger: "i_OcclusionAlarm",
+						Action: "o_BuzzerState := 1; o_AlarmLED := 2"},
+					{To: "Alarm", Trigger: "i_DoorOpen",
+						Action: "o_BuzzerState := 1; o_AlarmLED := 3"},
+				},
+				Children: []*statechart.State{
+					{
+						Name: "Basal",
+						Transitions: []statechart.Transition{
+							{To: "Bolus", Trigger: "i_BolusReq", Label: "Basal->Bolus"},
+						},
+					},
+					{
+						Name:  "Bolus",
+						Entry: "o_MotorState := basal_rate + 10; bolus_count := bolus_count + 1",
+						Exit:  "o_MotorState := basal_rate",
+						Transitions: []statechart.Transition{
+							{To: "Basal", Trigger: "at(4000, E_CLK)", Label: "Bolus->Basal"},
+						},
+					},
+				},
+			},
+			{
+				Name: "Paused",
+				Transitions: []statechart.Transition{
+					{To: "Infusing", Trigger: "i_Start", Guard: "basal_rate > 0"},
+					{To: "Ready", Trigger: "after(60000, E_CLK)"}, // auto-idle after 1 min
+				},
+			},
+			{
+				Name:  "Alarm",
+				Entry: "o_MotorState := 0",
+				Transitions: []statechart.Transition{
+					{To: "Ready", Trigger: "i_ClearAlarm",
+						Action: "o_BuzzerState := 0; o_AlarmLED := 0"},
+				},
+			},
+		},
+	}
+}
+
+// ExtendedBoard returns the pump hardware for the extended GPCA model:
+// the Fig. 2 devices plus power/start/stop buttons, occlusion and door
+// sensors, a basal-rate dial (an analogue level input) and the alarm LED.
+func ExtendedBoard() hw.BoardConfig {
+	ms := time.Millisecond
+	return hw.BoardConfig{
+		Name: "baxter-pca-sim-ext",
+		Sensors: []hw.SensorConfig{
+			{Name: "power_button", Signal: SigPowerButton, SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "start_button", Signal: SigStartButton, SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "stop_button", Signal: SigStopButton, SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "bolus_button", Signal: SigBolusButton, SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "reservoir_empty", Signal: SigReservoirEmpty, SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "occlusion", Signal: SigOcclusion, SamplePeriod: 10 * ms, Debounce: 2, ReadCost: 20 * time.Microsecond},
+			{Name: "door", Signal: SigDoor, SamplePeriod: 10 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "clear_button", Signal: SigClearButton, SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			{Name: "basal_dial", Signal: SigBasalDial, SamplePeriod: 20 * ms, ReadCost: 25 * time.Microsecond},
+		},
+		Actuators: []hw.ActuatorConfig{
+			{Name: "pump_motor", Signal: SigPumpMotor, Latency: 3 * ms, WriteCost: 30 * time.Microsecond},
+			{Name: "buzzer", Signal: SigBuzzer, Latency: ms, WriteCost: 30 * time.Microsecond},
+			{Name: "alarm_led", Signal: SigAlarmLED, Latency: ms, WriteCost: 30 * time.Microsecond},
+		},
+	}
+}
+
+// ExtendedPlatformConfig assembles the extended GPCA model on the
+// extended board.
+func ExtendedPlatformConfig() platform.Config {
+	return platform.Config{
+		Chart: ExtendedChart(),
+		Cost:  codegen.DefaultCostModel(),
+		Board: ExtendedBoard(),
+		Inputs: []platform.InputBinding{
+			{Sensor: "power_button", Event: "i_PowerOn"},
+			{Sensor: "start_button", Event: "i_Start"},
+			{Sensor: "stop_button", Event: "i_Stop"},
+			{Sensor: "bolus_button", Event: "i_BolusReq"},
+			{Sensor: "reservoir_empty", Event: "i_EmptyAlarm"},
+			{Sensor: "occlusion", Event: "i_OcclusionAlarm"},
+			{Sensor: "door", Event: "i_DoorOpen"},
+			{Sensor: "clear_button", Event: "i_ClearAlarm"},
+			{Sensor: "basal_dial", Var: "basal_rate"},
+		},
+		Outputs: []platform.OutputBinding{
+			{Var: "o_MotorState", Actuator: "pump_motor"},
+			{Var: "o_BuzzerState", Actuator: "buzzer"},
+			{Var: "o_AlarmLED", Actuator: "alarm_led"},
+		},
+	}
+}

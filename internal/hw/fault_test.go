@@ -1,0 +1,117 @@
+package hw
+
+import (
+	"testing"
+	"time"
+
+	"rmtest/internal/env"
+	"rmtest/internal/sim"
+)
+
+func TestSensorStuckWindow(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s := b.Sensor("s")
+	s.InjectStuck(20*ms, 30*ms, 0) // stuck at 0 during [20, 50)
+	e.SetAt(25*ms, "sig", 1)       // press during the stuck window
+	k.Run(45 * ms)
+	if s.Read() != 0 {
+		t.Fatal("stuck sensor must report the stuck value")
+	}
+	k.Run(60 * ms) // window over at 50ms; signal still 1
+	if s.Read() != 1 {
+		t.Fatal("sensor must resample after the stuck window")
+	}
+}
+
+func TestSensorStuckAtValue(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s := b.Sensor("s")
+	s.InjectStuck(10*ms, 20*ms, 7)
+	k.Run(15 * ms)
+	if s.Read() != 7 {
+		t.Fatalf("stuck value not reported: %d", s.Read())
+	}
+	_ = e
+}
+
+func TestInterruptSensorRespectsStuck(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 0}},
+	})
+	s := b.Sensor("s")
+	s.InjectStuck(5*ms, 20*ms, 0)
+	e.SetAt(10*ms, "sig", 1)
+	k.Run(20 * ms)
+	if s.Read() != 0 {
+		t.Fatal("interrupt sensor should ignore changes while stuck")
+	}
+	k.Run(time.Second)
+	if s.Read() != 1 {
+		t.Fatal("interrupt sensor should recover after the window")
+	}
+}
+
+func TestActuatorDeadWindow(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Actuators: []ActuatorConfig{{Name: "m", Signal: "sig", Latency: 0}},
+	})
+	a := b.Actuator("m")
+	a.InjectDead(10*ms, 20*ms)
+	k.At(15*ms, func() { a.Write(5) }) // dropped
+	k.At(40*ms, func() { a.Write(6) }) // applied
+	k.Run(time.Second)
+	if e.Get("sig") != 6 {
+		t.Fatalf("sig=%d", e.Get("sig"))
+	}
+	if a.IgnoredCommands() != 1 {
+		t.Fatalf("ignored=%d", a.IgnoredCommands())
+	}
+}
+
+func TestJitteredSamplingStaysNearPeriod(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{
+			Name: "s", Signal: "sig",
+			SamplePeriod: 10 * ms, Jitter: 2 * ms, JitterSeed: 3,
+		}},
+	})
+	s := b.Sensor("s")
+	k.Run(time.Second)
+	// Roughly 100 samples in one second despite jitter (nominal schedule
+	// anchors at multiples of the period, so drift does not accumulate).
+	if n := s.Samples(); n < 90 || n > 110 {
+		t.Fatalf("samples=%d, want ~100", n)
+	}
+	// A sustained press is still latched.
+	e.SetAt(1100*ms, "sig", 1)
+	k.Run(1200 * ms)
+	if s.Read() != 1 {
+		t.Fatal("jittered sensor failed to latch")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		k := sim.New()
+		e := env.New(k)
+		b, err := NewBoard(e, BoardConfig{
+			Sensors: []SensorConfig{{
+				Name: "s", Signal: "sig",
+				SamplePeriod: 10 * ms, Jitter: 3 * ms, JitterSeed: 42,
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetAt(55*ms, "sig", 1)
+		k.Run(200 * ms)
+		return b.Sensor("s").LatchedAt()
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+	}
+}

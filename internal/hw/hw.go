@@ -1,0 +1,341 @@
+// Package hw simulates the target hardware platform: sensors and
+// actuators with their device drivers. It is the Input-Device /
+// Output-Device layer of the four-variables model — the code that
+// converts m-events into i-events and o-events into c-events — and the
+// source of the input and output delays M-testing measures.
+//
+// A Sensor samples an environment signal on its own period (a sampling
+// routine in the paper's terms), optionally debouncing, and latches the
+// result for tasks to read. An Actuator accepts commands from tasks and
+// drives an environment signal after its actuation latency.
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"rmtest/internal/env"
+	"rmtest/internal/sim"
+)
+
+// SensorConfig describes one input device.
+type SensorConfig struct {
+	// Name identifies the sensor on the board.
+	Name string
+	// Signal is the monitored environment signal the sensor observes.
+	Signal string
+	// SamplePeriod is the driver's sampling period. Zero means the sensor
+	// latches changes immediately (interrupt-driven input).
+	SamplePeriod sim.Time
+	// SampleOffset phases the sampling clock.
+	SampleOffset sim.Time
+	// Debounce requires the raw value to be stable for this many
+	// consecutive samples before it is latched (0 or 1 = no debouncing).
+	// Ignored for interrupt-driven sensors.
+	Debounce int
+	// ReadCost is the CPU cost a task pays per Read of the latch,
+	// modelling register access through the driver. The platform layer
+	// charges it; the sensor only exposes the value.
+	ReadCost sim.Time
+	// Jitter, when positive, perturbs each sampling instant by a
+	// deterministic pseudo-random offset in [-Jitter, +Jitter], modelling
+	// oscillator drift and ISR jitter of real sampling routines.
+	Jitter sim.Time
+	// JitterSeed seeds the jitter stream (so experiments reproduce).
+	JitterSeed uint64
+}
+
+// Sensor is a simulated input device.
+type Sensor struct {
+	cfg     SensorConfig
+	env     *env.Environment
+	latched int64
+	// debounce state
+	candidate int64
+	stable    int
+	ticker    *sim.Ticker
+	samples   uint64
+	latchedAt sim.Time
+	rng       *sim.Rand
+	// fault injection: while the window is active the sensor reports
+	// stuckValue regardless of the physical signal.
+	stuckUntil sim.Time
+	stuckValue int64
+	stuck      bool
+}
+
+// Name returns the sensor name.
+func (s *Sensor) Name() string { return s.cfg.Name }
+
+// Config returns the sensor configuration.
+func (s *Sensor) Config() SensorConfig { return s.cfg }
+
+// Read returns the latched value. The platform layer charges ReadCost to
+// the calling task.
+func (s *Sensor) Read() int64 { return s.latched }
+
+// LatchedAt returns when the latch last changed.
+func (s *Sensor) LatchedAt() sim.Time { return s.latchedAt }
+
+// Samples returns how many sampling-routine invocations have run.
+func (s *Sensor) Samples() uint64 { return s.samples }
+
+// InjectStuck forces the sensor to report value from instant `from` for
+// `duration`, regardless of the physical signal — a stuck contact or a
+// shorted line. Failure injection is part of the testing story: a stuck
+// input manifests as MAX verdicts that M-testing localises to the
+// Input-Device layer.
+func (s *Sensor) InjectStuck(from, duration sim.Time, value int64) {
+	k := s.env.Kernel()
+	k.At(from, func() {
+		s.stuck = true
+		s.stuckUntil = from + duration
+		s.stuckValue = value
+		s.latched = value
+		s.latchedAt = k.Now()
+	})
+	k.At(from+duration, func() {
+		s.stuck = false
+		// Resample the physical signal immediately.
+		if v := s.env.Get(s.cfg.Signal); s.latched != v {
+			s.latched = v
+			s.latchedAt = k.Now()
+		}
+	})
+}
+
+// sample is one sampling-routine invocation.
+func (s *Sensor) sample() {
+	k := s.env.Kernel()
+	s.samples++
+	if s.stuck {
+		return
+	}
+	v := s.env.Get(s.cfg.Signal)
+	need := s.cfg.Debounce
+	if need <= 1 {
+		if s.latched != v {
+			s.latched = v
+			s.latchedAt = k.Now()
+		}
+		return
+	}
+	if v != s.candidate {
+		s.candidate = v
+		s.stable = 1
+		return
+	}
+	if s.stable < need {
+		s.stable++
+	}
+	if s.stable >= need && s.latched != v {
+		s.latched = v
+		s.latchedAt = k.Now()
+	}
+}
+
+func (s *Sensor) start() {
+	raw := s.env.Get(s.cfg.Signal)
+	s.latched = raw
+	s.candidate = raw
+	if s.cfg.SamplePeriod <= 0 {
+		// Interrupt-driven: latch on every signal change.
+		s.env.Watch(s.cfg.Signal, func(_ string, _, now int64, at sim.Time) {
+			if s.stuck || s.latched == now {
+				return
+			}
+			s.latched = now
+			s.latchedAt = at
+		})
+		return
+	}
+	k := s.env.Kernel()
+	if s.cfg.Jitter <= 0 {
+		s.ticker = k.Periodic(s.cfg.SampleOffset, s.cfg.SamplePeriod, func(uint64) { s.sample() })
+		return
+	}
+	// Jittered sampling: self-rescheduling with a deterministic stream.
+	s.rng = sim.NewRand(s.cfg.JitterSeed | 1)
+	var schedule func(base sim.Time)
+	schedule = func(base sim.Time) {
+		next := base + s.cfg.SamplePeriod + s.rng.Duration(-s.cfg.Jitter, s.cfg.Jitter)
+		if next <= k.Now() {
+			next = k.Now() + s.cfg.SamplePeriod/2
+		}
+		k.At(next, func() {
+			s.sample()
+			schedule(base + s.cfg.SamplePeriod)
+		})
+	}
+	k.At(s.cfg.SampleOffset, func() {
+		s.sample()
+		schedule(s.cfg.SampleOffset)
+	})
+}
+
+// ActuatorConfig describes one output device.
+type ActuatorConfig struct {
+	// Name identifies the actuator on the board.
+	Name string
+	// Signal is the controlled environment signal the actuator drives.
+	Signal string
+	// Latency is the physical delay from command to effect (motor
+	// spin-up, relay switching).
+	Latency sim.Time
+	// WriteCost is the CPU cost a task pays per command write; charged by
+	// the platform layer.
+	WriteCost sim.Time
+}
+
+// Actuator is a simulated output device.
+type Actuator struct {
+	cfg      ActuatorConfig
+	env      *env.Environment
+	commands uint64
+	lastCmd  int64
+	deadFrom sim.Time
+	deadTo   sim.Time
+	ignored  uint64
+}
+
+// Name returns the actuator name.
+func (a *Actuator) Name() string { return a.cfg.Name }
+
+// Config returns the actuator configuration.
+func (a *Actuator) Config() ActuatorConfig { return a.cfg }
+
+// Commands returns how many commands have been issued.
+func (a *Actuator) Commands() uint64 { return a.commands }
+
+// InjectDead makes the actuator ignore commands from instant `from` for
+// `duration` — a failed driver stage or a blown fuse. Commands during the
+// window are counted in IgnoredCommands and have no physical effect, so a
+// response produced by CODE(M) never becomes a c-event: the MAX mode
+// M-testing attributes to the output path.
+func (a *Actuator) InjectDead(from, duration sim.Time) {
+	a.deadFrom = from
+	a.deadTo = from + duration
+}
+
+// IgnoredCommands counts commands dropped by an injected fault.
+func (a *Actuator) IgnoredCommands() uint64 { return a.ignored }
+
+func (a *Actuator) dead(now sim.Time) bool {
+	return a.deadTo > a.deadFrom && now >= a.deadFrom && now < a.deadTo
+}
+
+// Write commands the actuator to drive its signal to v. The physical
+// effect (the c-event) appears after the configured latency. Writing the
+// current commanded value again is a no-op.
+func (a *Actuator) Write(v int64) {
+	k := a.env.Kernel()
+	if a.dead(k.Now()) {
+		a.ignored++
+		return
+	}
+	if a.commands > 0 && a.lastCmd == v {
+		return
+	}
+	a.lastCmd = v
+	a.commands++
+	if a.cfg.Latency <= 0 {
+		a.env.Set(a.cfg.Signal, v)
+		return
+	}
+	k.After(a.cfg.Latency, func() { a.env.Set(a.cfg.Signal, v) })
+}
+
+// BoardConfig wires a set of devices to environment signals.
+type BoardConfig struct {
+	Name      string
+	Sensors   []SensorConfig
+	Actuators []ActuatorConfig
+}
+
+// Board is the assembled hardware platform.
+type Board struct {
+	cfg       BoardConfig
+	env       *env.Environment
+	sensors   map[string]*Sensor
+	actuators map[string]*Actuator
+}
+
+// NewBoard builds the board on an environment, defining any referenced
+// signals that are not yet defined (with initial value 0) and starting
+// every sensor's sampling routine.
+func NewBoard(e *env.Environment, cfg BoardConfig) (*Board, error) {
+	b := &Board{
+		cfg:       cfg,
+		env:       e,
+		sensors:   make(map[string]*Sensor),
+		actuators: make(map[string]*Actuator),
+	}
+	for _, sc := range cfg.Sensors {
+		if sc.Name == "" || sc.Signal == "" {
+			return nil, fmt.Errorf("hw: sensor needs name and signal: %+v", sc)
+		}
+		if _, dup := b.sensors[sc.Name]; dup {
+			return nil, fmt.Errorf("hw: duplicate sensor %q", sc.Name)
+		}
+		if e.Lookup(sc.Signal) == nil {
+			e.Define(sc.Signal, 0)
+		}
+		s := &Sensor{cfg: sc, env: e}
+		s.start()
+		b.sensors[sc.Name] = s
+	}
+	for _, ac := range cfg.Actuators {
+		if ac.Name == "" || ac.Signal == "" {
+			return nil, fmt.Errorf("hw: actuator needs name and signal: %+v", ac)
+		}
+		if _, dup := b.actuators[ac.Name]; dup {
+			return nil, fmt.Errorf("hw: duplicate actuator %q", ac.Name)
+		}
+		if e.Lookup(ac.Signal) == nil {
+			e.Define(ac.Signal, 0)
+		}
+		b.actuators[ac.Name] = &Actuator{cfg: ac, env: e}
+	}
+	return b, nil
+}
+
+// Sensor returns a sensor by name; it panics on unknown names.
+func (b *Board) Sensor(name string) *Sensor {
+	s := b.sensors[name]
+	if s == nil {
+		panic(fmt.Sprintf("hw: unknown sensor %q", name))
+	}
+	return s
+}
+
+// Actuator returns an actuator by name; it panics on unknown names.
+func (b *Board) Actuator(name string) *Actuator {
+	a := b.actuators[name]
+	if a == nil {
+		panic(fmt.Sprintf("hw: unknown actuator %q", name))
+	}
+	return a
+}
+
+// SensorNames returns all sensor names, sorted.
+func (b *Board) SensorNames() []string {
+	out := make([]string, 0, len(b.sensors))
+	for n := range b.sensors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActuatorNames returns all actuator names, sorted.
+func (b *Board) ActuatorNames() []string {
+	out := make([]string, 0, len(b.actuators))
+	for n := range b.actuators {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Environment returns the environment the board is wired to.
+func (b *Board) Environment() *env.Environment { return b.env }

@@ -1,0 +1,397 @@
+// Package platform assembles implemented systems: the generated code
+// CODE(M) integrated with the simulated RTOS and hardware board under one
+// of the paper's three implementation schemes (§IV).
+//
+// A System owns the whole vertical stack — simulation kernel, RTOS,
+// environment, board, executor — plus the four-variable trace probes the
+// testing layers read. Instrumentation is layered exactly as the paper
+// prescribes: the R level records only m- and c-events at the
+// hardware/environment boundary; the M level additionally records i- and
+// o-events at the CODE(M) boundary and per-transition delays inside the
+// generated step function. Probes cost nothing in virtual time, so the
+// two levels observe identical executions.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"rmtest/internal/codegen"
+	"rmtest/internal/env"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/hw"
+	"rmtest/internal/rtos"
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+)
+
+// Instrument selects the probe layer.
+type Instrument int
+
+// Instrumentation levels.
+const (
+	// RLevel probes only the environment boundary (m- and c-events):
+	// everything R-testing needs.
+	RLevel Instrument = iota
+	// MLevel additionally probes the CODE(M) boundary (i- and o-events)
+	// and transition execution, enabling delay-segment measurement.
+	MLevel
+)
+
+func (i Instrument) String() string {
+	if i == RLevel {
+		return "R"
+	}
+	return "M"
+}
+
+// InputBinding routes one sensor to the chart: a rising edge on the
+// sensor's latched value fires Event (if set); the latched level is
+// copied into Var (if set). At least one of Event/Var must be set.
+type InputBinding struct {
+	Sensor string
+	Event  string
+	Var    string
+}
+
+// OutputBinding routes one chart output variable to an actuator.
+type OutputBinding struct {
+	Var      string
+	Actuator string
+}
+
+// Config describes the implemented system independent of the scheme.
+type Config struct {
+	Chart   *statechart.Chart
+	Cost    codegen.CostModel
+	RTOS    rtos.Config
+	Board   hw.BoardConfig
+	Inputs  []InputBinding
+	Outputs []OutputBinding
+}
+
+// System is one assembled implemented system.
+type System struct {
+	Kernel *sim.Kernel
+	Sched  *rtos.Scheduler
+	Env    *env.Environment
+	Board  *hw.Board
+	Exec   *codegen.Exec
+
+	Trace      *fourvar.Trace
+	TransTrace *fourvar.TransitionTrace
+
+	cfg     Config
+	scheme  Scheme
+	level   Instrument
+	prog    *codegen.Program
+	taskEnv *taskEnv
+	mapping fourvar.Mapping
+
+	inputsDropped  uint64
+	outputsDropped uint64
+	chartTicks     int64 // E_CLK ticks executed so far (elapsed-time catch-up)
+}
+
+// Scheme integrates CODE(M) with the platform by spawning RTOS tasks.
+type Scheme interface {
+	// Name identifies the scheme in reports ("scheme1", ...).
+	Name() string
+	// Start spawns the scheme's tasks on the assembled system.
+	Start(sys *System)
+}
+
+// taskEnv adapts the CODE(M)-executing rtos.Task to codegen.ExecEnv, so
+// generated-code cost charges CPU time on whichever task runs the step
+// function.
+type taskEnv struct {
+	tk *rtos.Task
+	k  *sim.Kernel
+}
+
+func (te *taskEnv) Compute(d time.Duration) {
+	if te.tk == nil {
+		panic("platform: CODE(M) executed outside its task")
+	}
+	te.tk.Compute(d)
+}
+
+func (te *taskEnv) Now() time.Duration { return te.k.Now() }
+
+// listener records transition delays and o-events at the M level.
+type listener struct {
+	sys *System
+}
+
+func (l listener) TransitionStart(id int, label string, at time.Duration) {
+	l.sys.TransTrace.Start(id, label, at)
+}
+
+func (l listener) TransitionFinish(id int, label string, at time.Duration, changed []statechart.VarChange) {
+	outs := make([]string, len(changed))
+	for i, ch := range changed {
+		outs[i] = ch.Name
+	}
+	l.sys.TransTrace.Finish(id, label, at, outs)
+	// o-events: the instant CODE(M) wrote each output.
+	for _, ch := range changed {
+		l.sys.Trace.Record(fourvar.Output, ch.Name, ch.To, at)
+	}
+}
+
+// NewSystem assembles a fresh implemented system for one simulation run.
+func NewSystem(cfg Config, scheme Scheme, level Instrument) (*System, error) {
+	if cfg.Chart == nil {
+		return nil, fmt.Errorf("platform: Config.Chart is required")
+	}
+	if scheme == nil {
+		return nil, fmt.Errorf("platform: scheme is required")
+	}
+	if len(cfg.Inputs) == 0 || len(cfg.Outputs) == 0 {
+		return nil, fmt.Errorf("platform: at least one input and one output binding required")
+	}
+	cc, err := cfg.Chart.Compile()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Generate(cc)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.New()
+	sys := &System{
+		Kernel:     k,
+		Sched:      rtos.New(k, cfg.RTOS),
+		Env:        env.New(k),
+		Trace:      fourvar.NewTrace(),
+		TransTrace: fourvar.NewTransitionTrace(),
+		cfg:        cfg,
+		scheme:     scheme,
+		level:      level,
+		prog:       prog,
+		taskEnv:    &taskEnv{k: k},
+	}
+	sys.Board, err = hw.NewBoard(sys.Env, cfg.Board)
+	if err != nil {
+		return nil, err
+	}
+	// Validate bindings against board and program.
+	sensorSignal := make(map[string]string)
+	for _, sc := range cfg.Board.Sensors {
+		sensorSignal[sc.Name] = sc.Signal
+	}
+	actuatorSignal := make(map[string]string)
+	for _, ac := range cfg.Board.Actuators {
+		actuatorSignal[ac.Name] = ac.Signal
+	}
+	mapping := fourvar.Mapping{MtoI: map[string]string{}, OtoC: map[string]string{}}
+	for _, ib := range cfg.Inputs {
+		sig, ok := sensorSignal[ib.Sensor]
+		if !ok {
+			return nil, fmt.Errorf("platform: input binding references unknown sensor %q", ib.Sensor)
+		}
+		if ib.Event == "" && ib.Var == "" {
+			return nil, fmt.Errorf("platform: input binding for %q routes to neither event nor variable", ib.Sensor)
+		}
+		if ib.Event != "" {
+			if _, ok := prog.EventID(ib.Event); !ok {
+				return nil, fmt.Errorf("platform: input binding references unknown event %q", ib.Event)
+			}
+			mapping.MtoI[sig] = ib.Event
+		}
+		if ib.Var != "" {
+			if _, ok := prog.VarID(ib.Var); !ok {
+				return nil, fmt.Errorf("platform: input binding references unknown variable %q", ib.Var)
+			}
+			if ib.Event == "" {
+				mapping.MtoI[sig] = ib.Var
+			}
+		}
+	}
+	for _, ob := range cfg.Outputs {
+		sig, ok := actuatorSignal[ob.Actuator]
+		if !ok {
+			return nil, fmt.Errorf("platform: output binding references unknown actuator %q", ob.Actuator)
+		}
+		if _, ok := prog.VarID(ob.Var); !ok {
+			return nil, fmt.Errorf("platform: output binding references unknown variable %q", ob.Var)
+		}
+		mapping.OtoC[ob.Var] = sig
+	}
+	if err := mapping.Validate(); err != nil {
+		return nil, err
+	}
+	sys.mapping = mapping
+
+	var lst codegen.Listener
+	if level == MLevel {
+		lst = listener{sys: sys}
+	}
+	sys.Exec = codegen.NewExec(prog, cfg.Cost, sys.taskEnv, lst)
+
+	// Boundary probes: every monitored and controlled signal change is an
+	// m-/c-event.
+	for m := range mapping.MtoI {
+		sys.Env.Watch(m, func(name string, _, now int64, at sim.Time) {
+			sys.Trace.Record(fourvar.Monitored, name, now, at)
+		})
+	}
+	for _, c := range mapping.OtoC {
+		sys.Env.Watch(c, func(name string, _, now int64, at sim.Time) {
+			sys.Trace.Record(fourvar.Controlled, name, now, at)
+		})
+	}
+	scheme.Start(sys)
+	return sys, nil
+}
+
+// Mapping returns the four-variable mapping derived from the bindings.
+func (sys *System) Mapping() fourvar.Mapping { return sys.mapping }
+
+// SchemeName returns the active scheme's name.
+func (sys *System) SchemeName() string { return sys.scheme.Name() }
+
+// Level returns the instrumentation level.
+func (sys *System) Level() Instrument { return sys.level }
+
+// Program returns the generated program.
+func (sys *System) Program() *codegen.Program { return sys.prog }
+
+// InputsDropped counts chart input messages lost to full queues.
+func (sys *System) InputsDropped() uint64 { return sys.inputsDropped }
+
+// OutputsDropped counts output messages lost to full queues.
+func (sys *System) OutputsDropped() uint64 { return sys.outputsDropped }
+
+// Run advances the simulation to the given horizon.
+func (sys *System) Run(until sim.Time) { sys.Kernel.Run(until) }
+
+// Shutdown terminates all RTOS task goroutines; the system must not be
+// used afterwards.
+func (sys *System) Shutdown() { sys.Sched.Shutdown() }
+
+// recordInput records an i-event: the instant CODE(M) read the input.
+func (sys *System) recordInput(name string, v int64, at sim.Time) {
+	if sys.level == MLevel {
+		sys.Trace.Record(fourvar.Input, name, v, at)
+	}
+}
+
+// primeInputBaseline initialises the edge-detection snapshot from the
+// sensors' power-on latch values, as device-driver init code does. Without
+// this, a stimulus arriving before the first sensing-task run would be
+// treated as the baseline and silently swallowed.
+func (sys *System) primeInputBaseline(lastVals map[string]int64) {
+	for _, ib := range sys.cfg.Inputs {
+		lastVals[ib.Sensor] = sys.Board.Sensor(ib.Sensor).Read()
+	}
+}
+
+// inputScan reads every bound sensor and reports chart updates: the event
+// mask to fire and variable updates to apply. lastVals carries edge state
+// across invocations; CPU read costs are charged to tk.
+func (sys *System) inputScan(tk *rtos.Task, lastVals map[string]int64) (mask uint64, updates []varUpdate) {
+	for _, ib := range sys.cfg.Inputs {
+		s := sys.Board.Sensor(ib.Sensor)
+		if c := s.Config().ReadCost; c > 0 {
+			tk.Compute(c)
+		}
+		v := s.Read()
+		last, seen := lastVals[ib.Sensor]
+		if seen && v == last {
+			continue
+		}
+		lastVals[ib.Sensor] = v
+		if !seen {
+			// First scan establishes the baseline without firing edges.
+			continue
+		}
+		if ib.Event != "" && last == 0 && v != 0 {
+			id, _ := sys.prog.EventID(ib.Event)
+			mask |= 1 << uint(id)
+			updates = append(updates, varUpdate{name: ib.Event, value: 1, isEvent: true})
+		}
+		if ib.Var != "" {
+			updates = append(updates, varUpdate{name: ib.Var, value: v})
+		}
+	}
+	return mask, updates
+}
+
+type varUpdate struct {
+	name    string
+	value   int64
+	isEvent bool
+}
+
+// applyInputs commits updates into the executor and records i-events at
+// the commit instant (the moment CODE(M) reads them).
+func (sys *System) applyInputs(tk *rtos.Task, updates []varUpdate) {
+	for _, u := range updates {
+		if !u.isEvent {
+			sys.Exec.SetInput(u.name, u.value)
+		}
+		sys.recordInput(u.name, u.value, tk.Now())
+	}
+}
+
+// stepChart advances the chart to the current platform time: it executes
+// as many E_CLK ticks as have elapsed since the previous invocation
+// (elapsed-time catch-up, as time-based generated code does), so model
+// time tracks real time even when task releases are skipped under
+// overload. Events fire on the first tick only (they were latched once);
+// output changes across the batch are merged so the invocation commits
+// each output's final value, the way generated C writes its output
+// structure at the end of the step computation.
+func (sys *System) stepChart(tk *rtos.Task, mask uint64) []statechart.VarChange {
+	ticks := int64(1)
+	if tp := sys.prog.TickPeriod; tp > 0 {
+		target := int64(tk.Now() / tp)
+		if n := target - sys.chartTicks; n > 1 {
+			ticks = n
+		}
+	}
+	sys.chartTicks += ticks
+	first := make(map[string]int64)
+	last := make(map[string]int64)
+	var order []string
+	absorb := func(changes []statechart.VarChange) {
+		for _, ch := range changes {
+			if _, seen := first[ch.Name]; !seen {
+				first[ch.Name] = ch.From
+				order = append(order, ch.Name)
+			}
+			last[ch.Name] = ch.To
+		}
+	}
+	res := sys.Exec.Step(mask)
+	absorb(res.Changed)
+	for k := int64(1); k < ticks; k++ {
+		res = sys.Exec.Step(0)
+		absorb(res.Changed)
+	}
+	var out []statechart.VarChange
+	for _, name := range order {
+		if first[name] != last[name] {
+			out = append(out, statechart.VarChange{Name: name, From: first[name], To: last[name]})
+		}
+	}
+	return out
+}
+
+// writeOutputs pushes changed outputs to their actuators, charging write
+// costs.
+func (sys *System) writeOutputs(tk *rtos.Task, changed []statechart.VarChange) {
+	for _, ch := range changed {
+		for _, ob := range sys.cfg.Outputs {
+			if ob.Var != ch.Name {
+				continue
+			}
+			a := sys.Board.Actuator(ob.Actuator)
+			if c := a.Config().WriteCost; c > 0 {
+				tk.Compute(c)
+			}
+			a.Write(ch.To)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"rmtest/internal/codegen"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/hw"
+	"rmtest/internal/statechart"
+)
+
+const ms = time.Millisecond
+
+// pumpConfig assembles the Fig. 2 chart on a minimal pump board.
+func pumpConfig() Config {
+	chart := &statechart.Chart{
+		Name:       "pump",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"i_BolusReq", "i_EmptyAlarm", "i_ClearAlarm"},
+		Vars: []statechart.VarDecl{
+			{Name: "o_MotorState", Type: statechart.Int, Kind: statechart.Output},
+			{Name: "o_BuzzerState", Type: statechart.Bool, Kind: statechart.Output},
+		},
+		Initial: "Idle",
+		States: []*statechart.State{
+			{Name: "Idle", Transitions: []statechart.Transition{
+				{To: "BolusRequested", Trigger: "i_BolusReq"},
+				{To: "EmptyAlarm", Trigger: "i_EmptyAlarm", Action: "o_MotorState := 0; o_BuzzerState := 1"},
+			}},
+			{Name: "BolusRequested", Transitions: []statechart.Transition{
+				{To: "Infusion", Trigger: "before(100, E_CLK)", Action: "o_MotorState := 1"},
+			}},
+			{Name: "Infusion", Transitions: []statechart.Transition{
+				{To: "Idle", Trigger: "at(4000, E_CLK)", Action: "o_MotorState := 0"},
+				{To: "EmptyAlarm", Trigger: "i_EmptyAlarm", Action: "o_MotorState := 0; o_BuzzerState := 1"},
+			}},
+			{Name: "EmptyAlarm", Transitions: []statechart.Transition{
+				{To: "Idle", Trigger: "i_ClearAlarm", Action: "o_BuzzerState := 0"},
+			}},
+		},
+	}
+	return Config{
+		Chart: chart,
+		Cost:  codegen.DefaultCostModel(),
+		Board: hw.BoardConfig{
+			Name: "pump-board",
+			Sensors: []hw.SensorConfig{
+				{Name: "bolus_button", Signal: "sig_bolus_button", SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+				{Name: "reservoir_empty", Signal: "sig_reservoir_empty", SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+				{Name: "clear_button", Signal: "sig_clear_button", SamplePeriod: 5 * ms, ReadCost: 20 * time.Microsecond},
+			},
+			Actuators: []hw.ActuatorConfig{
+				{Name: "pump_motor", Signal: "sig_pump_motor", Latency: 3 * ms, WriteCost: 30 * time.Microsecond},
+				{Name: "buzzer", Signal: "sig_buzzer", Latency: ms, WriteCost: 30 * time.Microsecond},
+			},
+		},
+		Inputs: []InputBinding{
+			{Sensor: "bolus_button", Event: "i_BolusReq"},
+			{Sensor: "reservoir_empty", Event: "i_EmptyAlarm"},
+			{Sensor: "clear_button", Event: "i_ClearAlarm"},
+		},
+		Outputs: []OutputBinding{
+			{Var: "o_MotorState", Actuator: "pump_motor"},
+			{Var: "o_BuzzerState", Actuator: "buzzer"},
+		},
+	}
+}
+
+func newSys(t *testing.T, scheme Scheme, level Instrument) *System {
+	t.Helper()
+	sys, err := NewSystem(pumpConfig(), scheme, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Shutdown)
+	return sys
+}
+
+// pressBolus presses the bolus button at `at` for `width`.
+func pressBolus(sys *System, at, width time.Duration) {
+	sys.Env.PulseAt(at, "sig_bolus_button", 1, 0, width)
+}
+
+func motorOnEvent(t *testing.T, sys *System) fourvar.Event {
+	t.Helper()
+	e, ok := sys.Trace.FirstAt(fourvar.Controlled, "sig_pump_motor", 0, func(v int64) bool { return v == 1 })
+	if !ok {
+		t.Fatalf("motor never started; trace:\n%s", sys.Trace.String())
+	}
+	return e
+}
+
+func TestScheme1BolusWithinDeadline(t *testing.T) {
+	sys := newSys(t, DefaultScheme1(), RLevel)
+	pressBolus(sys, 40*ms, 60*ms)
+	sys.Run(500 * ms)
+	m, _ := sys.Trace.FirstAt(fourvar.Monitored, "sig_bolus_button", 0, func(v int64) bool { return v == 1 })
+	c := motorOnEvent(t, sys)
+	delay := c.At - m.At
+	if delay <= 0 || delay > 100*ms {
+		t.Fatalf("bolus start delay %v, want (0, 100ms]", delay)
+	}
+	// Scheme 1 worst case: sensor sample (5) + task phase (25) + exec + actuator (3).
+	if delay > 40*ms {
+		t.Fatalf("delay %v implausibly large for scheme 1", delay)
+	}
+}
+
+func TestScheme1RLevelRecordsNoIOEvents(t *testing.T) {
+	sys := newSys(t, DefaultScheme1(), RLevel)
+	pressBolus(sys, 40*ms, 60*ms)
+	sys.Run(300 * ms)
+	for _, e := range sys.Trace.Events() {
+		if e.Kind == fourvar.Input || e.Kind == fourvar.Output {
+			t.Fatalf("R-level trace contains %v", e)
+		}
+	}
+	if len(sys.TransTrace.Records()) != 0 {
+		t.Fatal("R-level should not record transitions")
+	}
+}
+
+func TestScheme1MLevelSegments(t *testing.T) {
+	sys := newSys(t, DefaultScheme1(), MLevel)
+	pressBolus(sys, 40*ms, 60*ms)
+	sys.Run(500 * ms)
+	spec := fourvar.MatchSpec{
+		MName: "sig_bolus_button", MPred: func(v int64) bool { return v == 1 },
+		IName: "i_BolusReq",
+		OName: "o_MotorState", OPred: func(v int64) bool { return v == 1 },
+		CName: "sig_pump_motor",
+	}
+	seg, ok := fourvar.Match(sys.Trace, sys.TransTrace, spec, 0)
+	if !ok {
+		t.Fatalf("no full chain; trace:\n%s", sys.Trace.String())
+	}
+	if seg.InputDelay() <= 0 || seg.OutputDelay() <= 0 || seg.CodeDelay() <= 0 {
+		t.Fatalf("segments must be positive: %v", seg)
+	}
+	if seg.Total() != seg.InputDelay()+seg.CodeDelay()+seg.OutputDelay() {
+		t.Fatal("segment identity violated")
+	}
+	// Two transitions: Idle->BolusRequested chained into
+	// BolusRequested->Infusion.
+	if len(seg.Transitions) != 2 {
+		t.Fatalf("transitions: %v", seg.Transitions)
+	}
+	if seg.TransitionTotal() > seg.CodeDelay() {
+		t.Fatalf("transition total %v exceeds code delay %v", seg.TransitionTotal(), seg.CodeDelay())
+	}
+}
+
+func TestRLevelAndMLevelObserveSameTotals(t *testing.T) {
+	// Probing must not perturb the system: the m->c delay is identical
+	// across instrumentation levels.
+	total := func(level Instrument) time.Duration {
+		sys := newSys(t, DefaultScheme1(), level)
+		pressBolus(sys, 37*ms, 60*ms)
+		sys.Run(500 * ms)
+		m, _ := sys.Trace.FirstAt(fourvar.Monitored, "sig_bolus_button", 0, func(v int64) bool { return v == 1 })
+		c := motorOnEvent(t, sys)
+		return c.At - m.At
+	}
+	if r, m := total(RLevel), total(MLevel); r != m {
+		t.Fatalf("R-level total %v != M-level total %v", r, m)
+	}
+}
+
+func TestScheme2BolusWithinDeadline(t *testing.T) {
+	sys := newSys(t, DefaultScheme2(), MLevel)
+	pressBolus(sys, 33*ms, 60*ms)
+	sys.Run(500 * ms)
+	m, _ := sys.Trace.FirstAt(fourvar.Monitored, "sig_bolus_button", 0, func(v int64) bool { return v == 1 })
+	c := motorOnEvent(t, sys)
+	delay := c.At - m.At
+	if delay <= 0 || delay > 100*ms {
+		t.Fatalf("scheme2 delay %v, want within 100ms", delay)
+	}
+}
+
+func TestScheme2UsesQueuesAcrossTasks(t *testing.T) {
+	sys := newSys(t, DefaultScheme2(), MLevel)
+	pressBolus(sys, 33*ms, 60*ms)
+	sys.Run(500 * ms)
+	// The scheduler must have spawned the three pipeline tasks.
+	names := map[string]bool{}
+	for _, tk := range sys.Sched.Tasks() {
+		names[tk.Name()] = true
+	}
+	for _, want := range []string{"sense", "codeM", "actuate"} {
+		if !names[want] {
+			t.Fatalf("missing task %q", want)
+		}
+	}
+	if sys.InputsDropped() != 0 {
+		t.Fatalf("dropped %d inputs", sys.InputsDropped())
+	}
+}
+
+func TestScheme2SlowerThanScheme1(t *testing.T) {
+	run := func(s Scheme) time.Duration {
+		sys := newSys(t, s, RLevel)
+		pressBolus(sys, 41*ms, 60*ms)
+		sys.Run(500 * ms)
+		m, _ := sys.Trace.FirstAt(fourvar.Monitored, "sig_bolus_button", 0, func(v int64) bool { return v == 1 })
+		c := motorOnEvent(t, sys)
+		return c.At - m.At
+	}
+	d1 := run(DefaultScheme1())
+	d2 := run(DefaultScheme2())
+	if d2 <= d1 {
+		t.Fatalf("pipeline scheme2 (%v) should be slower than scheme1 (%v)", d2, d1)
+	}
+}
+
+func TestScheme3InterferenceDelaysResponse(t *testing.T) {
+	// With the default interference load, at least some stimuli blow the
+	// 100 ms deadline. Use a stimulus aligned right after the netdrv
+	// burst starts.
+	sys := newSys(t, DefaultScheme3(), RLevel)
+	pressBolus(sys, 5*ms, 60*ms)
+	sys.Run(2 * time.Second)
+	m, _ := sys.Trace.FirstAt(fourvar.Monitored, "sig_bolus_button", 0, func(v int64) bool { return v == 1 })
+	e, ok := sys.Trace.FirstAt(fourvar.Controlled, "sig_pump_motor", 0, func(v int64) bool { return v == 1 })
+	if ok {
+		delay := e.At - m.At
+		if delay <= 100*ms {
+			t.Fatalf("expected interference to delay past deadline, got %v", delay)
+		}
+	}
+	// ok==false (MAX: press missed entirely) is also an acceptable
+	// violation mode for this scheme.
+}
+
+func TestScheme3CanMissShortPress(t *testing.T) {
+	// A short press during the high-priority interference burst is missed
+	// entirely: the sensing task does not run while netdrv computes.
+	sys := newSys(t, DefaultScheme3(), RLevel)
+	pressBolus(sys, 2*ms, 30*ms) // netdrv bursts 0-90ms at prio 4
+	sys.Run(2 * time.Second)
+	if _, ok := sys.Trace.FirstAt(fourvar.Controlled, "sig_pump_motor", 0, func(v int64) bool { return v == 1 }); ok {
+		t.Fatal("expected the press to be missed (MAX)")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	run := func() string {
+		sys, err := NewSystem(pumpConfig(), DefaultScheme3(), MLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Shutdown()
+		pressBolus(sys, 10*ms, 60*ms)
+		pressBolus(sys, 300*ms, 60*ms)
+		sys.Run(time.Second)
+		return sys.Trace.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic traces:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	base := pumpConfig()
+	s := DefaultScheme1()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil chart", func(c *Config) { c.Chart = nil }},
+		{"no inputs", func(c *Config) { c.Inputs = nil }},
+		{"no outputs", func(c *Config) { c.Outputs = nil }},
+		{"unknown sensor", func(c *Config) { c.Inputs[0].Sensor = "ghost" }},
+		{"unknown event", func(c *Config) { c.Inputs[0].Event = "i_Ghost" }},
+		{"unknown actuator", func(c *Config) { c.Outputs[0].Actuator = "ghost" }},
+		{"unknown output var", func(c *Config) { c.Outputs[0].Var = "o_Ghost" }},
+		{"binding with neither event nor var", func(c *Config) {
+			c.Inputs[0].Event = ""
+			c.Inputs[0].Var = ""
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		// Deep-copy the slices the mutation touches.
+		cfg.Inputs = append([]InputBinding(nil), base.Inputs...)
+		cfg.Outputs = append([]OutputBinding(nil), base.Outputs...)
+		tc.mutate(&cfg)
+		if _, err := NewSystem(cfg, s, RLevel); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestMappingExposed(t *testing.T) {
+	sys := newSys(t, DefaultScheme1(), RLevel)
+	mp := sys.Mapping()
+	if mp.MtoI["sig_bolus_button"] != "i_BolusReq" {
+		t.Fatalf("mapping: %+v", mp)
+	}
+	if mp.OtoC["o_MotorState"] != "sig_pump_motor" {
+		t.Fatalf("mapping: %+v", mp)
+	}
+	if sys.SchemeName() != "scheme1" || sys.Level() != RLevel {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestLevelInputBindingVariableRouting(t *testing.T) {
+	// A chart that reads a level input through a bound variable.
+	chart := &statechart.Chart{
+		Name:       "level",
+		TickPeriod: time.Millisecond,
+		Vars: []statechart.VarDecl{
+			{Name: "in_level", Type: statechart.Int, Kind: statechart.Input},
+			{Name: "o_high", Type: statechart.Bool, Kind: statechart.Output},
+		},
+		Initial: "Watch",
+		States: []*statechart.State{
+			{Name: "Watch", Transitions: []statechart.Transition{
+				{To: "High", Guard: "in_level >= 5", Action: "o_high := 1"},
+			}},
+			{Name: "High"},
+		},
+	}
+	cfg := Config{
+		Chart: chart,
+		Cost:  codegen.DefaultCostModel(),
+		Board: hw.BoardConfig{
+			Sensors:   []hw.SensorConfig{{Name: "lvl", Signal: "sig_lvl", SamplePeriod: 2 * ms}},
+			Actuators: []hw.ActuatorConfig{{Name: "led", Signal: "sig_led"}},
+		},
+		Inputs:  []InputBinding{{Sensor: "lvl", Var: "in_level"}},
+		Outputs: []OutputBinding{{Var: "o_high", Actuator: "led"}},
+	}
+	sys, err := NewSystem(cfg, DefaultScheme1(), MLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.Env.SetAt(40*ms, "sig_lvl", 7)
+	sys.Run(300 * ms)
+	if sys.Env.Get("sig_led") != 1 {
+		t.Fatalf("led=%d; trace:\n%s", sys.Env.Get("sig_led"), sys.Trace.String())
+	}
+	// The i-event for the variable routing was recorded.
+	if _, ok := sys.Trace.FirstAt(fourvar.Input, "in_level", 0, func(v int64) bool { return v == 7 }); !ok {
+		t.Fatalf("missing i-event for level input; trace:\n%s", sys.Trace.String())
+	}
+}

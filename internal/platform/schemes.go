@@ -1,0 +1,212 @@
+package platform
+
+import (
+	"time"
+
+	"rmtest/internal/rtos"
+	"rmtest/internal/sim"
+)
+
+// Scheme1 is the paper's single-threaded implementation: one periodic
+// task reads the sensors, executes CODE(M) and writes the actuators at
+// the end of the computation. The case study invokes it every 25 ms.
+type Scheme1 struct {
+	// Period is the task period (default 25 ms).
+	Period sim.Time
+	// Prio is the task priority (default 2).
+	Prio int
+	// Offset phases the first release.
+	Offset sim.Time
+}
+
+// DefaultScheme1 returns the case-study configuration.
+func DefaultScheme1() *Scheme1 {
+	return &Scheme1{Period: 25 * time.Millisecond, Prio: 2}
+}
+
+// Name implements Scheme.
+func (s *Scheme1) Name() string { return "scheme1" }
+
+// Start implements Scheme.
+func (s *Scheme1) Start(sys *System) {
+	period := s.Period
+	if period <= 0 {
+		period = 25 * time.Millisecond
+	}
+	lastVals := make(map[string]int64)
+	sys.primeInputBaseline(lastVals)
+	sys.Sched.SpawnPeriodic("codeM", s.Prio, s.Offset, period, func(tk *rtos.Task) {
+		sys.taskEnv.tk = tk
+		mask, updates := sys.inputScan(tk, lastVals)
+		sys.applyInputs(tk, updates)
+		changed := sys.stepChart(tk, mask)
+		sys.writeOutputs(tk, changed)
+	})
+}
+
+// inMsg carries one input update from the sensing task to the CODE(M)
+// task over a FIFO queue.
+type inMsg struct {
+	update varUpdate
+	mask   uint64
+}
+
+// outMsg carries one output change from the CODE(M) task to the actuation
+// task over a FIFO queue.
+type outMsg struct {
+	name  string
+	value int64
+}
+
+// Scheme2 is the paper's multi-threaded implementation: separate sensing
+// and actuation tasks communicate with the CODE(M) task through FIFO
+// queues, so sensors and actuators run at different frequencies from the
+// CODE(M) execution. The case study chooses the periods so their sum
+// along the sensing -> CODE(M) -> actuation path stays below the 100 ms
+// requirement.
+type Scheme2 struct {
+	SensePeriod sim.Time // default 20 ms
+	CodePeriod  sim.Time // default 40 ms
+	ActPeriod   sim.Time // default 20 ms
+	SensePrio   int      // default 3
+	CodePrio    int      // default 2
+	ActPrio     int      // default 3
+	QueueCap    int      // default 8
+}
+
+// DefaultScheme2 returns the case-study configuration
+// (20 + 40 + 20 = 80 ms < 100 ms).
+func DefaultScheme2() *Scheme2 {
+	return &Scheme2{
+		SensePeriod: 20 * time.Millisecond,
+		CodePeriod:  40 * time.Millisecond,
+		ActPeriod:   20 * time.Millisecond,
+		SensePrio:   3,
+		CodePrio:    2,
+		ActPrio:     3,
+		QueueCap:    8,
+	}
+}
+
+// Name implements Scheme.
+func (s *Scheme2) Name() string { return "scheme2" }
+
+// Start implements Scheme.
+func (s *Scheme2) Start(sys *System) {
+	s.start(sys)
+}
+
+// start spawns the three pipeline tasks; shared with Scheme3.
+func (s *Scheme2) start(sys *System) {
+	cap := s.QueueCap
+	if cap <= 0 {
+		cap = 8
+	}
+	inQ := sys.Sched.NewQueue("inQ", cap)
+	outQ := sys.Sched.NewQueue("outQ", cap)
+
+	lastVals := make(map[string]int64)
+	sys.primeInputBaseline(lastVals)
+	sys.Sched.SpawnPeriodic("sense", s.SensePrio, 0, s.SensePeriod, func(tk *rtos.Task) {
+		_, updates := sys.inputScan(tk, lastVals)
+		for _, u := range updates {
+			m := uint64(0)
+			if u.isEvent {
+				id, _ := sys.prog.EventID(u.name)
+				m = 1 << uint(id)
+			}
+			if !tk.TrySend(inQ, inMsg{update: u, mask: m}) {
+				sys.inputsDropped++
+			}
+		}
+	})
+
+	sys.Sched.SpawnPeriodic("codeM", s.CodePrio, 0, s.CodePeriod, func(tk *rtos.Task) {
+		sys.taskEnv.tk = tk
+		var mask uint64
+		var updates []varUpdate
+		for {
+			v, ok := tk.TryRecv(inQ)
+			if !ok {
+				break
+			}
+			msg := v.(inMsg)
+			mask |= msg.mask
+			updates = append(updates, msg.update)
+		}
+		sys.applyInputs(tk, updates)
+		for _, ch := range sys.stepChart(tk, mask) {
+			if !tk.TrySend(outQ, outMsg{name: ch.Name, value: ch.To}) {
+				sys.outputsDropped++
+			}
+		}
+	})
+
+	sys.Sched.SpawnPeriodic("actuate", s.ActPrio, 0, s.ActPeriod, func(tk *rtos.Task) {
+		for {
+			v, ok := tk.TryRecv(outQ)
+			if !ok {
+				return
+			}
+			msg := v.(outMsg)
+			for _, ob := range sys.cfg.Outputs {
+				if ob.Var != msg.name {
+					continue
+				}
+				a := sys.Board.Actuator(ob.Actuator)
+				if c := a.Config().WriteCost; c > 0 {
+					tk.Compute(c)
+				}
+				a.Write(msg.value)
+			}
+		}
+	})
+}
+
+// InterferenceTask is one additional workload thread of Scheme3.
+type InterferenceTask struct {
+	Name   string
+	Prio   int
+	Offset sim.Time
+	Period sim.Time
+	Burst  sim.Time // CPU consumed per release
+}
+
+// Scheme3 is the paper's non-stand-alone implementation: Scheme2 plus
+// additional threads (network drivers and similar) that do not
+// communicate with CODE(M) but compete for the CPU. The case study runs
+// three: one at the CODE(M) task's priority, one higher and one lower.
+type Scheme3 struct {
+	Scheme2
+	Interference []InterferenceTask
+}
+
+// DefaultScheme3 returns the case-study configuration: the Scheme2
+// pipeline plus three interference threads. The higher-priority thread's
+// bursts are long enough to starve the pipeline past the 100 ms deadline
+// — and occasionally past a whole button press, which produces the MAX
+// (response never observed) entries of Table I.
+func DefaultScheme3() *Scheme3 {
+	return &Scheme3{
+		Scheme2: *DefaultScheme2(),
+		Interference: []InterferenceTask{
+			{Name: "netdrv", Prio: 4, Period: 130 * time.Millisecond, Burst: 80 * time.Millisecond},
+			{Name: "logger", Prio: 2, Period: 70 * time.Millisecond, Burst: 30 * time.Millisecond},
+			{Name: "housekeeping", Prio: 1, Period: 40 * time.Millisecond, Burst: 12 * time.Millisecond},
+		},
+	}
+}
+
+// Name implements Scheme.
+func (s *Scheme3) Name() string { return "scheme3" }
+
+// Start implements Scheme.
+func (s *Scheme3) Start(sys *System) {
+	s.start(sys)
+	for _, it := range s.Interference {
+		burst := it.Burst
+		sys.Sched.SpawnPeriodic(it.Name, it.Prio, it.Offset, it.Period, func(tk *rtos.Task) {
+			tk.Compute(burst)
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/json"
+	"time"
+
+	"rmtest/internal/core"
+)
+
+// jsonSample is the exported form of one sample.
+type jsonSample struct {
+	Sample    int     `json:"sample"`
+	Verdict   string  `json:"verdict"`
+	DelayMS   float64 `json:"delay_ms,omitempty"`
+	InputMS   float64 `json:"input_ms,omitempty"`
+	CodeMS    float64 `json:"codem_ms,omitempty"`
+	OutputMS  float64 `json:"output_ms,omitempty"`
+	TransMS   float64 `json:"transitions_ms,omitempty"`
+	Stimulus  float64 `json:"stimulus_ms"`
+	Segmented bool    `json:"segmented"`
+}
+
+// jsonReport is the exported form of one scheme's layered result.
+type jsonReport struct {
+	Requirement string       `json:"requirement"`
+	BoundMS     float64      `json:"bound_ms"`
+	Scheme      string       `json:"scheme"`
+	Passed      bool         `json:"passed"`
+	Samples     []jsonSample `json:"samples"`
+	Diagnosis   []string     `json:"diagnosis,omitempty"`
+}
+
+func ms64(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// JSON exports per-scheme reports as indented JSON for downstream
+// analysis tools.
+func JSON(reports []core.Report) ([]byte, error) {
+	out := make([]jsonReport, 0, len(reports))
+	for _, rep := range reports {
+		jr := jsonReport{
+			Requirement: rep.R.Requirement.ID,
+			BoundMS:     ms64(rep.R.Requirement.Bound),
+			Scheme:      rep.R.Scheme,
+			Passed:      rep.R.Passed(),
+		}
+		for i, s := range rep.R.Samples {
+			js := jsonSample{
+				Sample:   i + 1,
+				Verdict:  s.Verdict.String(),
+				Stimulus: ms64(s.StimulusAt),
+			}
+			if s.CObserved {
+				js.DelayMS = ms64(s.Delay)
+			}
+			if rep.M != nil && i < len(rep.M.Samples) && rep.M.Samples[i].SegmentsOK {
+				seg := rep.M.Samples[i].Segments
+				js.Segmented = true
+				js.InputMS = ms64(seg.InputDelay())
+				js.CodeMS = ms64(seg.CodeDelay())
+				js.OutputMS = ms64(seg.OutputDelay())
+				js.TransMS = ms64(seg.TransitionTotal())
+			}
+			jr.Samples = append(jr.Samples, js)
+		}
+		for _, f := range rep.Diagnosis {
+			jr.Diagnosis = append(jr.Diagnosis, f.String())
+		}
+		out = append(out, jr)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

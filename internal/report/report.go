@@ -1,0 +1,230 @@
+// Package report renders the testing framework's results as the paper
+// presents them: Table I (per-sample R-testing delays with M-testing
+// delay segments for the violating samples) and the Fig. 3 style timing
+// diagrams of one sample's m -> i -> o -> c chain. It also exports CSV
+// for downstream analysis.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rmtest/internal/core"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/sim"
+)
+
+// msStr formats a duration as milliseconds with two decimals, the unit
+// Table I uses.
+func msStr(d sim.Time) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// cell renders one R-testing cell: the delay in ms, "MAX" for unobserved
+// responses, with a trailing '*' marking a violated bound (the paper's
+// red numbers).
+func cell(s core.SampleResult, bound sim.Time) string {
+	if !s.CObserved {
+		return "MAX"
+	}
+	out := msStr(s.Delay)
+	if s.Delay > bound {
+		out += "*"
+	}
+	return out
+}
+
+// TableI renders the paper's Table I for a set of per-scheme reports: ten
+// (or however many) samples as rows, one column group per scheme with the
+// R-testing delay and — for samples where M-testing ran — the measured
+// delay segments.
+func TableI(reports []core.Report) string {
+	if len(reports) == 0 {
+		return "(no results)\n"
+	}
+	req := reports[0].R.Requirement
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I. Measured time-delays for the bolus request scenario in %s (ms)\n", req.ID)
+	fmt.Fprintf(&b, "%s\n", req.Text)
+	fmt.Fprintf(&b, "bound = %s ms; '*' marks a violated bound; MAX = response not observed before timeout\n\n", msStr(req.Bound))
+
+	const rw = 10
+	// Header.
+	fmt.Fprintf(&b, "%-8s", "sample")
+	for _, rep := range reports {
+		fmt.Fprintf(&b, "| %-*s", rw*4+3, rep.R.Scheme+"  (R-test | M: input, codeM, output)")
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 8+len(reports)*(rw*4+5)))
+	b.WriteByte('\n')
+
+	n := 0
+	for _, rep := range reports {
+		if len(rep.R.Samples) > n {
+			n = len(rep.R.Samples)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-8d", i+1)
+		for _, rep := range reports {
+			if i >= len(rep.R.Samples) {
+				fmt.Fprintf(&b, "| %-*s", rw*4+3, "")
+				continue
+			}
+			s := rep.R.Samples[i]
+			r := cell(s, req.Bound)
+			in, code, out := "-", "-", "-"
+			if rep.M != nil && i < len(rep.M.Samples) && rep.M.Samples[i].SegmentsOK {
+				seg := rep.M.Samples[i].Segments
+				in, code, out = msStr(seg.InputDelay()), msStr(seg.CodeDelay()), msStr(seg.OutputDelay())
+			}
+			fmt.Fprintf(&b, "| %-*s %-*s %-*s %-*s", rw, r, rw, in, rw, code, rw, out)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	// Verdict summary line per scheme.
+	for _, rep := range reports {
+		pass := 0
+		var fails, maxes int
+		for _, s := range rep.R.Samples {
+			switch s.Verdict {
+			case core.Pass:
+				pass++
+			case core.Fail:
+				fails++
+			case core.Max:
+				maxes++
+			}
+		}
+		fmt.Fprintf(&b, "%s: R-testing %s (%d pass, %d fail, %d MAX)",
+			rep.R.Scheme, passFail(fails+maxes == 0), pass, fails, maxes)
+		if rep.M != nil {
+			agg := core.NewSegmentStats(*rep.M)
+			fmt.Fprintf(&b, "; M segments mean in/code/out = %s/%s/%s ms",
+				msStr(agg.Input.Mean), msStr(agg.Code.Mean), msStr(agg.Output.Mean))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// TransitionTable renders the per-transition delays of the violating (or
+// all) samples — the Trans1-Delay / Trans2-Delay detail of Fig. 3-(d).
+func TransitionTable(m core.MResult, onlyViolations bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transition delays (%s, %s)\n", m.Requirement.ID, m.Scheme)
+	for _, s := range m.Samples {
+		if onlyViolations && s.Verdict == core.Pass {
+			continue
+		}
+		fmt.Fprintf(&b, "sample %d [%v]:\n", s.Index+1, s.Verdict)
+		if !s.SegmentsOK {
+			fmt.Fprintf(&b, "  (no i/o chain matched)\n")
+			continue
+		}
+		for i, td := range s.Segments.Transitions {
+			fmt.Fprintf(&b, "  Trans%d %-32s %s ms\n", i+1, td.Label, msStr(td.Duration()))
+		}
+	}
+	return b.String()
+}
+
+// CSV renders per-sample rows for machine consumption:
+// scheme,sample,verdict,delay_ms,input_ms,code_ms,output_ms.
+func CSV(reports []core.Report) string {
+	var b strings.Builder
+	b.WriteString("scheme,sample,verdict,delay_ms,input_ms,codem_ms,output_ms\n")
+	for _, rep := range reports {
+		for i, s := range rep.R.Samples {
+			delay := ""
+			if s.CObserved {
+				delay = msStr(s.Delay)
+			}
+			in, code, out := "", "", ""
+			if rep.M != nil && i < len(rep.M.Samples) && rep.M.Samples[i].SegmentsOK {
+				seg := rep.M.Samples[i].Segments
+				in, code, out = msStr(seg.InputDelay()), msStr(seg.CodeDelay()), msStr(seg.OutputDelay())
+			}
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s\n",
+				rep.R.Scheme, i+1, s.Verdict, delay, in, code, out)
+		}
+	}
+	return b.String()
+}
+
+// Diagram renders a Fig. 3 style timing diagram for one matched sample:
+// four lanes (m, i, o, c) with the event instants and the bracketed delay
+// segments.
+func Diagram(seg fourvar.Segments, width int) string {
+	if width < 40 {
+		width = 72
+	}
+	span := seg.C.At - seg.M.At
+	if span <= 0 {
+		return "(degenerate sample)\n"
+	}
+	pos := func(t sim.Time) int {
+		p := int(int64(t-seg.M.At) * int64(width-1) / int64(span))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	lane := func(label string, at sim.Time, name string) string {
+		row := []byte(strings.Repeat("-", width))
+		row[pos(at)] = '*'
+		return fmt.Sprintf("%-2s %s %s @%v\n", label, string(row), name, at)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timing diagram (span %v; one column = %v)\n", span, span/sim.Time(width))
+	b.WriteString(lane("m", seg.M.At, seg.M.Name))
+	b.WriteString(lane("i", seg.I.At, seg.I.Name))
+	b.WriteString(lane("o", seg.O.At, seg.O.Name))
+	b.WriteString(lane("c", seg.C.At, seg.C.Name))
+	bracket := func(from, to sim.Time, label string) {
+		lo, hi := pos(from), pos(to)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		row := []byte(strings.Repeat(" ", width))
+		row[lo] = '['
+		if hi < width {
+			row[hi] = ']'
+		}
+		for i := lo + 1; i < hi && i < width; i++ {
+			row[i] = '.'
+		}
+		fmt.Fprintf(&b, "   %s %s = %v\n", string(row), label, to-from)
+	}
+	bracket(seg.M.At, seg.I.At, "Input-Delay")
+	bracket(seg.I.At, seg.O.At, "CODE(M)-Delay")
+	bracket(seg.O.At, seg.C.At, "Output-Delay")
+	for i, td := range seg.Transitions {
+		bracket(td.Start, td.Finish, fmt.Sprintf("Trans%d-Delay (%s)", i+1, td.Label))
+	}
+	return b.String()
+}
+
+// Findings renders the diagnosis list.
+func Findings(fs []core.Finding) string {
+	if len(fs) == 0 {
+		return "(no findings)\n"
+	}
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "- %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,599 @@
+// Package rtos simulates a small real-time operating system in virtual
+// time. It stands in for the FreeRTOS kernel the paper's case study runs
+// on (ARM7 + FreeRTOS): fixed-priority preemptive scheduling, optional
+// round-robin time slicing within a priority band, FIFO message queues
+// with priority-ordered wakeup, counting semaphores, mutexes with priority
+// inheritance, interrupt service routines that steal CPU time, and a
+// context-switch cost.
+//
+// Tasks are written as ordinary Go functions. Under the hood each task is
+// a goroutine, but exactly one goroutine is ever runnable: the scheduler
+// hands control to a task and blocks until the task issues its next kernel
+// request. Code between requests executes in zero virtual time; all
+// passage of time is explicit via (*Task).Compute, Sleep and blocking
+// operations. This makes every schedule — including preemptions, queueing
+// delays and starvation — exactly reproducible, which is what lets the
+// testing layers above measure delay segments without perturbation.
+package rtos
+
+import (
+	"fmt"
+	"sort"
+
+	"rmtest/internal/sim"
+)
+
+// Config controls platform overheads of the simulated RTOS.
+type Config struct {
+	// ContextSwitch is the CPU cost charged whenever the CPU switches
+	// from one task to a different task. Zero disables the charge.
+	ContextSwitch sim.Time
+	// TimeSlice, when positive, enables round-robin scheduling among
+	// ready tasks of equal priority: a task that computes for a full
+	// slice while an equal-priority peer is ready yields the CPU.
+	TimeSlice sim.Time
+	// TraceCapacity bounds the scheduler trace ring buffer. Zero means
+	// a reasonable default.
+	TraceCapacity int
+}
+
+// Scheduler is the simulated RTOS kernel. Create one with New, spawn
+// tasks, then drive the underlying sim.Kernel.
+type Scheduler struct {
+	k   *sim.Kernel
+	cfg Config
+
+	tasks   []*Task
+	ready   []*Task // ordered: highest priority first, FIFO within a band
+	current *Task
+
+	// CPU occupancy. Exactly one of these is meaningful at a time.
+	computeDone  *sim.Event
+	computeStart sim.Time
+	sliceEnd     *sim.Event
+	switching    bool
+	switchDone   *sim.Event
+	switchTarget *Task
+	lastOnCPU    *Task
+
+	inLoop      bool
+	kickPending bool
+	trace       *Trace
+	idleFrom    sim.Time
+	idleTime    sim.Time
+	switches    uint64
+	preempts    uint64
+}
+
+// New returns a scheduler bound to kernel k.
+func New(k *sim.Kernel, cfg Config) *Scheduler {
+	cap := cfg.TraceCapacity
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Scheduler{k: k, cfg: cfg, trace: newTrace(cap)}
+}
+
+// Kernel returns the underlying simulation kernel.
+func (s *Scheduler) Kernel() *sim.Kernel { return s.k }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() sim.Time { return s.k.Now() }
+
+// Trace returns the scheduler's event trace.
+func (s *Scheduler) Trace() *Trace { return s.trace }
+
+// ContextSwitches returns the number of task-to-task CPU switches so far.
+func (s *Scheduler) ContextSwitches() uint64 { return s.switches }
+
+// Preemptions returns the number of times a running task was preempted.
+func (s *Scheduler) Preemptions() uint64 { return s.preempts }
+
+// IdleTime returns the accumulated virtual time during which no task
+// occupied the CPU.
+func (s *Scheduler) IdleTime() sim.Time {
+	if s.cpuIdle() {
+		return s.idleTime + (s.k.Now() - s.idleFrom)
+	}
+	return s.idleTime
+}
+
+// Tasks returns all tasks ever spawned, in spawn order.
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// Spawn creates a task and schedules its first activation at time start
+// (which must not be in the past). Higher prio values run first, matching
+// FreeRTOS convention.
+func (s *Scheduler) Spawn(name string, prio int, start sim.Time, body func(*Task)) *Task {
+	if body == nil {
+		panic("rtos: Spawn with nil body")
+	}
+	t := &Task{
+		sched:  s,
+		name:   name,
+		prio:   prio,
+		base:   prio,
+		state:  TaskNew,
+		resume: make(chan struct{}),
+		req:    make(chan request),
+		kill:   make(chan struct{}),
+	}
+	s.tasks = append(s.tasks, t)
+	go t.run(body)
+	s.k.At(start, func() {
+		if t.state != TaskNew {
+			return
+		}
+		s.makeReady(t, false)
+		s.kick()
+	})
+	return t
+}
+
+// SpawnPeriodic creates a task whose body runs once per period, first at
+// time offset, using DelayUntil semantics (no drift; overruns are absorbed
+// by skipping to the next release that lies in the future). The task
+// tracks executed and skipped releases — skipped releases are a direct
+// symptom of CPU starvation and feed timing diagnosis.
+func (s *Scheduler) SpawnPeriodic(name string, prio int, offset, period sim.Time, body func(*Task)) *Task {
+	if period <= 0 {
+		panic("rtos: non-positive period")
+	}
+	tk := s.Spawn(name, prio, offset, func(t *Task) {
+		next := offset
+		for {
+			t.releases++
+			body(t)
+			next += period
+			for next <= t.Now() {
+				next += period
+				t.missedReleases++
+			}
+			t.SleepUntil(next)
+		}
+	})
+	tk.period = period
+	return tk
+}
+
+// Shutdown force-terminates every live task goroutine. Call it when a
+// simulation run is finished so repeated runs (tests, benchmarks) do not
+// leak goroutines. The scheduler must not be used afterwards.
+func (s *Scheduler) Shutdown() {
+	for _, t := range s.tasks {
+		if t.state != TaskDone {
+			close(t.kill)
+			t.state = TaskDone
+		}
+	}
+	s.current = nil
+}
+
+// cpuIdle reports whether nothing occupies the CPU.
+func (s *Scheduler) cpuIdle() bool {
+	return s.current == nil && !s.switching
+}
+
+func (s *Scheduler) cpuComputing() bool {
+	return s.computeDone != nil && s.computeDone.Pending()
+}
+
+// makeReady inserts t into the ready list. front selects LIFO insertion
+// within t's priority band (used for preempted tasks, which must resume
+// before equal-priority peers).
+func (s *Scheduler) makeReady(t *Task, front bool) {
+	if t.state == TaskReady || t.state == TaskRunning || t.state == TaskDone {
+		panic(fmt.Sprintf("rtos: makeReady(%s) in state %v", t.name, t.state))
+	}
+	t.state = TaskReady
+	t.readyAt = s.k.Now()
+	s.insertReady(t, front)
+	s.trace.add(s.k.Now(), TraceReady, t)
+}
+
+// insertReady places t into the ready list without touching its state.
+func (s *Scheduler) insertReady(t *Task, front bool) {
+	pos := len(s.ready)
+	for i, r := range s.ready {
+		if front {
+			if r.prio <= t.prio {
+				pos = i
+				break
+			}
+		} else {
+			if r.prio < t.prio {
+				pos = i
+				break
+			}
+		}
+	}
+	s.ready = append(s.ready, nil)
+	copy(s.ready[pos+1:], s.ready[pos:])
+	s.ready[pos] = t
+}
+
+func (s *Scheduler) removeReady(t *Task) {
+	for i, r := range s.ready {
+		if r == t {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			return
+		}
+	}
+	panic("rtos: task not in ready list")
+}
+
+func (s *Scheduler) topReady() *Task {
+	if len(s.ready) == 0 {
+		return nil
+	}
+	return s.ready[0]
+}
+
+// kick requests a scheduling pass after all other kernel events at the
+// current instant have been processed. Wakeup paths use it instead of
+// calling schedLoop directly so that several tasks released at the same
+// instant all become ready before any of them is dispatched — matching an
+// RTOS tick handler that moves every expired task to the ready list before
+// invoking the scheduler.
+func (s *Scheduler) kick() {
+	if s.kickPending {
+		return
+	}
+	s.kickPending = true
+	s.k.After(0, func() {
+		s.kickPending = false
+		s.schedLoop()
+	})
+}
+
+// schedLoop is the heart of the scheduler. Every kernel event that can
+// change task state ends by calling it. It runs task goroutines
+// synchronously (in zero virtual time) until the CPU is committed — to a
+// compute burst, a context switch — or idle.
+func (s *Scheduler) schedLoop() {
+	if s.inLoop {
+		// Re-entered from a wakeup performed inside a task request that
+		// is already being processed by an outer loop; the outer loop
+		// re-checks preemption after the request completes.
+		return
+	}
+	s.inLoop = true
+	defer func() { s.inLoop = false }()
+
+	for {
+		if s.switching || s.cpuComputing() {
+			if s.cpuComputing() {
+				// Preemption of an in-progress compute burst.
+				top := s.topReady()
+				if top != nil && top.prio > s.current.prio {
+					s.preemptCurrent()
+					continue
+				}
+				// Equal-priority contention appeared mid-burst: start a
+				// round-robin slice if slicing is enabled.
+				if s.cfg.TimeSlice > 0 && s.sliceEnd == nil && s.equalPrioReady(s.current) {
+					s.armSlice()
+				}
+			}
+			return
+		}
+		if s.current == nil {
+			top := s.topReady()
+			if top == nil {
+				if s.idleFrom < 0 {
+					s.idleFrom = s.k.Now()
+				}
+				return
+			}
+			s.removeReady(top)
+			if s.idleFrom >= 0 {
+				s.idleTime += s.k.Now() - s.idleFrom
+				s.idleFrom = -1
+			}
+			if s.cfg.ContextSwitch > 0 && s.lastOnCPU != top && s.lastOnCPU != nil {
+				s.beginSwitch(top)
+				return
+			}
+			s.startRunning(top)
+			continue
+		}
+		t := s.current
+		// Preemption check at a request boundary.
+		if top := s.topReady(); top != nil && top.prio > t.prio {
+			s.preemptAtBoundary()
+			continue
+		}
+		if t.pendingCompute > 0 {
+			s.beginCompute(t)
+			return
+		}
+		// Resume the task goroutine until its next request.
+		req := s.resumeAndWait(t)
+		s.handle(t, req)
+	}
+}
+
+func (s *Scheduler) startRunning(t *Task) {
+	t.state = TaskRunning
+	s.current = t
+	if s.lastOnCPU != t {
+		s.switches++
+	}
+	s.lastOnCPU = t
+	s.trace.add(s.k.Now(), TraceDispatch, t)
+}
+
+func (s *Scheduler) beginSwitch(target *Task) {
+	s.switching = true
+	s.switchTarget = target
+	s.trace.add(s.k.Now(), TraceSwitch, target)
+	s.switchDone = s.k.After(s.cfg.ContextSwitch, func() {
+		s.switching = false
+		t := s.switchTarget
+		s.switchTarget = nil
+		// A higher-priority task may have become ready during the switch.
+		if top := s.topReady(); top != nil && top.prio > t.prio {
+			t.state = TaskPreempted
+			s.makeReady(t, true)
+		} else {
+			s.startRunning(t)
+		}
+		s.schedLoop()
+	})
+}
+
+func (s *Scheduler) beginCompute(t *Task) {
+	s.computeStart = s.k.Now()
+	s.computeDone = s.k.After(t.pendingCompute, func() {
+		t.pendingCompute = 0
+		s.computeDone = nil
+		s.cancelSlice()
+		s.schedLoop()
+	})
+	if s.cfg.TimeSlice > 0 && s.equalPrioReady(t) {
+		s.armSlice()
+	}
+}
+
+// armSlice schedules the end of the current round-robin slice, provided
+// the in-flight burst outlasts the slice.
+func (s *Scheduler) armSlice() {
+	remaining := s.computeDone.At() - s.k.Now()
+	if remaining <= s.cfg.TimeSlice {
+		return
+	}
+	s.sliceEnd = s.k.After(s.cfg.TimeSlice, func() {
+		s.sliceEnd = nil
+		s.rotateSlice()
+	})
+}
+
+func (s *Scheduler) cancelSlice() {
+	if s.sliceEnd != nil {
+		s.sliceEnd.Cancel()
+		s.sliceEnd = nil
+	}
+}
+
+func (s *Scheduler) equalPrioReady(t *Task) bool {
+	for _, r := range s.ready {
+		if r.prio == t.prio {
+			return true
+		}
+		if r.prio < t.prio {
+			break
+		}
+	}
+	return false
+}
+
+// rotateSlice implements round-robin: the current task goes to the back of
+// its priority band and the next equal-priority task runs.
+func (s *Scheduler) rotateSlice() {
+	t := s.current
+	if t == nil || !s.cpuComputing() || !s.equalPrioReady(t) {
+		s.schedLoop()
+		return
+	}
+	s.stopCompute(t)
+	t.state = TaskPreempted
+	s.makeReady(t, false) // back of the band
+	s.current = nil
+	s.preempts++
+	s.trace.add(s.k.Now(), TracePreempt, t)
+	s.schedLoop()
+}
+
+// stopCompute cancels the in-flight compute burst of t, charging the CPU
+// time consumed so far.
+func (s *Scheduler) stopCompute(t *Task) {
+	elapsed := s.k.Now() - s.computeStart
+	s.computeDone.Cancel()
+	s.computeDone = nil
+	s.cancelSlice()
+	t.pendingCompute -= elapsed
+	if t.pendingCompute < 0 {
+		t.pendingCompute = 0
+	}
+}
+
+func (s *Scheduler) preemptCurrent() {
+	t := s.current
+	s.stopCompute(t)
+	t.state = TaskPreempted
+	s.makeReady(t, true)
+	s.current = nil
+	s.preempts++
+	s.trace.add(s.k.Now(), TracePreempt, t)
+}
+
+func (s *Scheduler) preemptAtBoundary() {
+	t := s.current
+	t.state = TaskPreempted
+	s.makeReady(t, true)
+	s.current = nil
+	s.preempts++
+	s.trace.add(s.k.Now(), TracePreempt, t)
+}
+
+// resumeAndWait lets t's goroutine run until it issues its next request.
+func (s *Scheduler) resumeAndWait(t *Task) request {
+	t.resume <- struct{}{}
+	return <-t.reqFromTask()
+}
+
+// blockCurrent removes the current task from the CPU in the blocked state.
+func (s *Scheduler) blockCurrent(why TraceKind) {
+	t := s.current
+	t.state = TaskBlocked
+	s.current = nil
+	s.trace.add(s.k.Now(), why, t)
+}
+
+// wake moves a blocked or sleeping task to ready.
+func (s *Scheduler) wake(t *Task) {
+	if t.state != TaskBlocked && t.state != TaskSleeping {
+		panic(fmt.Sprintf("rtos: wake(%s) in state %v", t.name, t.state))
+	}
+	if t.wakeEv != nil {
+		t.wakeEv.Cancel()
+		t.wakeEv = nil
+	}
+	s.makeReady(t, false)
+}
+
+// handle processes one kernel request from task t. On return the loop in
+// schedLoop re-evaluates preemption and CPU occupancy.
+func (s *Scheduler) handle(t *Task, r request) {
+	switch r.kind {
+	case reqCompute:
+		t.pendingCompute = r.dur
+	case reqSleep:
+		if r.until <= s.k.Now() {
+			// Zero or past deadline: behave like a yield.
+			t.state = TaskPreempted
+			s.makeReady(t, false)
+			s.current = nil
+			s.trace.add(s.k.Now(), TraceYield, t)
+			return
+		}
+		t.state = TaskSleeping
+		s.current = nil
+		s.trace.add(s.k.Now(), TraceSleep, t)
+		t.wakeEv = s.k.At(r.until, func() {
+			t.wakeEv = nil
+			t.blockOK = true
+			s.makeReady(t, false)
+			s.kick()
+		})
+	case reqYield:
+		t.state = TaskPreempted
+		s.makeReady(t, false)
+		s.current = nil
+		s.trace.add(s.k.Now(), TraceYield, t)
+	case reqExit:
+		t.state = TaskDone
+		s.current = nil
+		s.trace.add(s.k.Now(), TraceExit, t)
+	case reqQueueSend:
+		r.q.send(t, r.val, r.timeout, r.hasTimeout)
+	case reqQueueRecv:
+		r.q.recv(t, r.timeout, r.hasTimeout)
+	case reqSemTake:
+		r.sem.take(t, r.timeout, r.hasTimeout)
+	case reqSemGive:
+		r.sem.give(t)
+	case reqMutexLock:
+		r.mu.lock(t)
+	case reqMutexUnlock:
+		r.mu.unlock(t)
+	default:
+		panic("rtos: unknown request")
+	}
+}
+
+// Interrupt models an interrupt service routine: handler runs now (in
+// zero virtual time, outside any task) and the CPU is stolen for isrCost,
+// pushing out whatever compute burst or context switch was in progress.
+// The handler typically posts to a queue via SendFromISR or gives a
+// semaphore via GiveFromISR.
+func (s *Scheduler) Interrupt(isrCost sim.Time, handler func()) {
+	if isrCost > 0 {
+		s.stealCPU(isrCost)
+	}
+	s.trace.add(s.k.Now(), TraceISR, nil)
+	if handler != nil {
+		handler()
+	}
+	s.kick()
+}
+
+// stealCPU pushes out the completion of the in-flight compute burst or
+// context switch by d, modelling ISR time stolen from the running task.
+// When the CPU is idle the ISR absorbs into idle time.
+func (s *Scheduler) stealCPU(d sim.Time) {
+	if s.cpuComputing() {
+		remaining := s.computeDone.At() - s.k.Now()
+		s.computeDone.Cancel()
+		s.computeStart += d
+		t := s.current
+		s.computeDone = s.k.After(d+remaining, func() {
+			t.pendingCompute = 0
+			s.computeDone = nil
+			s.cancelSlice()
+			s.schedLoop()
+		})
+		if s.sliceEnd != nil && s.sliceEnd.Pending() {
+			sliceRemaining := s.sliceEnd.At() - s.k.Now()
+			s.sliceEnd.Cancel()
+			s.sliceEnd = s.k.After(d+sliceRemaining, func() {
+				s.sliceEnd = nil
+				s.rotateSlice()
+			})
+		}
+		return
+	}
+	if s.switching && s.switchDone != nil && s.switchDone.Pending() {
+		remaining := s.switchDone.At() - s.k.Now()
+		s.switchDone.Cancel()
+		target := s.switchTarget
+		s.switchDone = s.k.After(d+remaining, func() {
+			s.switching = false
+			s.switchTarget = nil
+			if top := s.topReady(); top != nil && top.prio > target.prio {
+				target.state = TaskPreempted
+				s.makeReady(target, true)
+			} else {
+				s.startRunning(target)
+			}
+			s.schedLoop()
+		})
+	}
+}
+
+// Utilization returns the fraction of elapsed virtual time the CPU was
+// busy, in [0,1]. It is 0 before any time has elapsed.
+func (s *Scheduler) Utilization() float64 {
+	el := s.k.Now()
+	if el <= 0 {
+		return 0
+	}
+	return 1 - float64(s.IdleTime())/float64(el)
+}
+
+// ReadySnapshot returns the names of ready tasks, highest priority first.
+// Intended for tests and debug output.
+func (s *Scheduler) ReadySnapshot() []string {
+	names := make([]string, len(s.ready))
+	for i, t := range s.ready {
+		names[i] = t.name
+	}
+	return names
+}
+
+// TasksByName returns tasks sorted by name; handy for stable debug output.
+func (s *Scheduler) TasksByName() []*Task {
+	out := append([]*Task(nil), s.tasks...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,177 @@
+package rtos
+
+import "rmtest/internal/sim"
+
+// Semaphore is a counting semaphore with priority-ordered wakeup.
+type Semaphore struct {
+	sched   *Scheduler
+	name    string
+	count   int
+	max     int // <= 0 means unbounded
+	waiters []*Task
+	gives   uint64
+	takes   uint64
+}
+
+// NewSemaphore creates a semaphore with the given initial count; max <= 0
+// means the count is unbounded. A binary semaphore is NewSemaphore(name, 0, 1).
+func (s *Scheduler) NewSemaphore(name string, initial, max int) *Semaphore {
+	if max > 0 && initial > max {
+		panic("rtos: semaphore initial count exceeds max")
+	}
+	return &Semaphore{sched: s, name: name, count: initial, max: max}
+}
+
+// Name returns the semaphore's name.
+func (sem *Semaphore) Name() string { return sem.name }
+
+// Count returns the currently available units.
+func (sem *Semaphore) Count() int { return sem.count }
+
+func (sem *Semaphore) take(t *Task, timeout sim.Time, hasTimeout bool) {
+	if sem.count > 0 {
+		sem.count--
+		sem.takes++
+		t.blockOK = true
+		return
+	}
+	if hasTimeout && timeout <= 0 {
+		t.blockOK = false
+		return
+	}
+	sem.waiters = insertByPrio(sem.waiters, t)
+	sem.sched.blockCurrent(TraceBlock)
+	if hasTimeout {
+		s := sem.sched
+		t.wakeEv = s.k.After(timeout, func() {
+			t.wakeEv = nil
+			sem.waiters = removeTask(sem.waiters, t)
+			t.blockOK = false
+			s.makeReady(t, false)
+			s.kick()
+		})
+	}
+}
+
+func (sem *Semaphore) give(t *Task) {
+	sem.gives++
+	if len(sem.waiters) > 0 {
+		w := sem.waiters[0]
+		sem.waiters = sem.waiters[1:]
+		sem.takes++
+		w.blockOK = true
+		sem.sched.wake(w)
+		if t != nil {
+			t.blockOK = true
+		}
+		return
+	}
+	if sem.max <= 0 || sem.count < sem.max {
+		sem.count++
+	}
+	if t != nil {
+		t.blockOK = true
+	}
+}
+
+// GiveFromISR releases one unit from interrupt (kernel) context. It must
+// not be called from a task body.
+func (sem *Semaphore) GiveFromISR() {
+	sem.give(nil)
+	sem.sched.kick()
+}
+
+// Mutex is a lock with priority inheritance: while a task holds the mutex
+// and a higher-priority task waits for it, the holder's effective priority
+// is boosted to the waiter's, bounding priority inversion — the same
+// mechanism FreeRTOS mutexes use.
+type Mutex struct {
+	sched   *Scheduler
+	name    string
+	owner   *Task
+	waiters []*Task
+}
+
+// NewMutex creates an unlocked mutex.
+func (s *Scheduler) NewMutex(name string) *Mutex {
+	return &Mutex{sched: s, name: name}
+}
+
+// Name returns the mutex's name.
+func (m *Mutex) Name() string { return m.name }
+
+// Holder returns the task currently holding the mutex, or nil.
+func (m *Mutex) Holder() *Task { return m.owner }
+
+func (m *Mutex) lock(t *Task) {
+	if m.owner == nil {
+		m.owner = t
+		t.holding = append(t.holding, m)
+		t.blockOK = true
+		return
+	}
+	if m.owner == t {
+		panic("rtos: recursive mutex lock by " + t.name)
+	}
+	m.waiters = insertByPrio(m.waiters, t)
+	// Priority inheritance: boost the holder.
+	if m.owner.prio < t.prio {
+		m.sched.setEffectivePriority(m.owner, t.prio)
+	}
+	m.sched.blockCurrent(TraceBlock)
+}
+
+func (m *Mutex) unlock(t *Task) {
+	if m.owner != t {
+		panic("rtos: unlock of mutex not held by " + t.name)
+	}
+	for i, h := range t.holding {
+		if h == m {
+			t.holding = append(t.holding[:i], t.holding[i+1:]...)
+			break
+		}
+	}
+	m.owner = nil
+	// Restore the releasing task's effective priority from whatever it
+	// still holds.
+	m.sched.setEffectivePriority(t, t.inheritedPriority())
+	t.blockOK = true
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.owner = w
+		w.holding = append(w.holding, m)
+		w.blockOK = true
+		// The new owner may itself inherit from remaining waiters.
+		m.sched.setEffectivePriority(w, w.inheritedPriority())
+		m.sched.wake(w)
+	}
+}
+
+// inheritedPriority computes the task's effective priority: its base
+// priority raised to the highest priority among tasks waiting on any mutex
+// it holds.
+func (t *Task) inheritedPriority() int {
+	p := t.base
+	for _, m := range t.holding {
+		for _, w := range m.waiters {
+			if w.prio > p {
+				p = w.prio
+			}
+		}
+	}
+	return p
+}
+
+// setEffectivePriority changes t's effective priority, repositioning it in
+// the ready list if necessary.
+func (s *Scheduler) setEffectivePriority(t *Task, p int) {
+	if t.prio == p {
+		return
+	}
+	t.prio = p
+	if t.state == TaskReady || t.state == TaskPreempted {
+		s.removeReady(t)
+		s.insertReady(t, false)
+	}
+}

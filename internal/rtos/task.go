@@ -1,0 +1,267 @@
+package rtos
+
+import (
+	"fmt"
+
+	"rmtest/internal/sim"
+)
+
+// TaskState is the lifecycle state of a task.
+type TaskState int
+
+// Task lifecycle states.
+const (
+	TaskNew       TaskState = iota // spawned, not yet released
+	TaskReady                      // runnable, waiting for the CPU
+	TaskRunning                    // on the CPU
+	TaskPreempted                  // taken off the CPU at a boundary; ready
+	TaskSleeping                   // waiting for a time instant
+	TaskBlocked                    // waiting on a queue/semaphore/mutex
+	TaskDone                       // body returned
+)
+
+func (st TaskState) String() string {
+	switch st {
+	case TaskNew:
+		return "new"
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskPreempted:
+		return "preempted"
+	case TaskSleeping:
+		return "sleeping"
+	case TaskBlocked:
+		return "blocked"
+	case TaskDone:
+		return "done"
+	}
+	return fmt.Sprintf("TaskState(%d)", int(st))
+}
+
+type reqKind int
+
+const (
+	reqCompute reqKind = iota
+	reqSleep
+	reqYield
+	reqExit
+	reqQueueSend
+	reqQueueRecv
+	reqSemTake
+	reqSemGive
+	reqMutexLock
+	reqMutexUnlock
+)
+
+type request struct {
+	kind       reqKind
+	dur        sim.Time // reqCompute
+	until      sim.Time // reqSleep
+	val        any      // reqQueueSend
+	q          *Queue
+	sem        *Semaphore
+	mu         *Mutex
+	timeout    sim.Time
+	hasTimeout bool
+}
+
+type killed struct{}
+
+// Task is a simulated RTOS task. Its methods may only be called from
+// inside the task's own body function; calling them from outside the
+// simulation is a programming error.
+type Task struct {
+	sched *Scheduler
+	name  string
+	prio  int // effective priority (may be boosted by priority inheritance)
+	base  int // assigned priority
+	state TaskState
+
+	resume chan struct{}
+	req    chan request
+	kill   chan struct{}
+
+	pendingCompute sim.Time
+	readyAt        sim.Time
+	wakeEv         *sim.Event
+
+	// Reply slots for blocking operations, set by the scheduler before the
+	// task is resumed.
+	blockVal any
+	blockOK  bool
+
+	// Accounting.
+	cpuTime        sim.Time
+	holding        []*Mutex
+	period         sim.Time // for periodic tasks; 0 otherwise
+	releases       uint64
+	missedReleases uint64
+}
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Priority returns the task's current effective priority.
+func (t *Task) Priority() int { return t.prio }
+
+// BasePriority returns the task's assigned priority.
+func (t *Task) BasePriority() int { return t.base }
+
+// State returns the task's lifecycle state.
+func (t *Task) State() TaskState { return t.state }
+
+// CPUTime returns the total virtual CPU time this task has consumed via
+// Compute (including time consumed by bursts still in progress).
+func (t *Task) CPUTime() sim.Time { return t.cpuTime }
+
+// Period returns the period of a periodic task (zero for plain tasks).
+func (t *Task) Period() sim.Time { return t.period }
+
+// Releases returns how many periodic releases have executed.
+func (t *Task) Releases() uint64 { return t.releases }
+
+// MissedReleases returns how many periodic releases were skipped because
+// the previous instance overran (a symptom of CPU starvation).
+func (t *Task) MissedReleases() uint64 { return t.missedReleases }
+
+func (t *Task) reqFromTask() chan request { return t.req }
+
+// run is the task goroutine entry point.
+func (t *Task) run(body func(*Task)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				return // simulation shut down; exit quietly
+			}
+			panic(r)
+		}
+	}()
+	t.wait()
+	body(t)
+	t.req <- request{kind: reqExit}
+	// Do not wait again: the scheduler never resumes an exited task.
+}
+
+// wait blocks the task goroutine until the scheduler resumes it.
+func (t *Task) wait() {
+	select {
+	case <-t.resume:
+	case <-t.kill:
+		panic(killed{})
+	}
+}
+
+// syscall issues one kernel request and blocks until it completes.
+func (t *Task) syscall(r request) {
+	select {
+	case t.req <- r:
+	case <-t.kill:
+		panic(killed{})
+	}
+	t.wait()
+}
+
+// Now returns the current virtual time.
+func (t *Task) Now() sim.Time { return t.sched.k.Now() }
+
+// Compute consumes d of CPU time. The burst is preemptible: a
+// higher-priority task that becomes ready in the middle takes the CPU and
+// the remainder of the burst continues later. Compute(0) is a no-op.
+func (t *Task) Compute(d sim.Time) {
+	if d < 0 {
+		panic("rtos: negative compute duration")
+	}
+	if d == 0 {
+		return
+	}
+	t.cpuTime += d
+	t.syscall(request{kind: reqCompute, dur: d})
+}
+
+// Sleep blocks the task for d of virtual time. Sleep(0) yields the CPU.
+func (t *Task) Sleep(d sim.Time) {
+	if d < 0 {
+		panic("rtos: negative sleep duration")
+	}
+	t.SleepUntil(t.Now() + d)
+}
+
+// SleepUntil blocks the task until the absolute instant at. If at is not
+// in the future it degrades to a yield, mirroring vTaskDelayUntil.
+func (t *Task) SleepUntil(at sim.Time) {
+	t.syscall(request{kind: reqSleep, until: at})
+}
+
+// Yield releases the CPU to equal-or-higher-priority ready tasks; the task
+// stays ready and continues when scheduled again.
+func (t *Task) Yield() {
+	t.syscall(request{kind: reqYield})
+}
+
+// Send enqueues v on q, blocking while the queue is full.
+func (t *Task) Send(q *Queue, v any) {
+	t.syscall(request{kind: reqQueueSend, q: q, val: v})
+}
+
+// SendTimeout enqueues v on q, giving up after d. It reports whether the
+// value was enqueued.
+func (t *Task) SendTimeout(q *Queue, v any, d sim.Time) bool {
+	t.syscall(request{kind: reqQueueSend, q: q, val: v, timeout: d, hasTimeout: true})
+	return t.blockOK
+}
+
+// Recv dequeues a value from q, blocking while the queue is empty.
+func (t *Task) Recv(q *Queue) any {
+	t.syscall(request{kind: reqQueueRecv, q: q})
+	return t.blockVal
+}
+
+// RecvTimeout dequeues a value from q, giving up after d. The boolean
+// reports whether a value was received.
+func (t *Task) RecvTimeout(q *Queue, d sim.Time) (any, bool) {
+	t.syscall(request{kind: reqQueueRecv, q: q, timeout: d, hasTimeout: true})
+	if !t.blockOK {
+		return nil, false
+	}
+	return t.blockVal, true
+}
+
+// TrySend enqueues v without blocking; it reports whether there was room.
+func (t *Task) TrySend(q *Queue, v any) bool {
+	return t.SendTimeout(q, v, 0)
+}
+
+// TryRecv dequeues without blocking.
+func (t *Task) TryRecv(q *Queue) (any, bool) {
+	return t.RecvTimeout(q, 0)
+}
+
+// Take acquires one unit from the semaphore, blocking while none are
+// available.
+func (t *Task) Take(s *Semaphore) {
+	t.syscall(request{kind: reqSemTake, sem: s})
+}
+
+// TakeTimeout acquires one unit from the semaphore, giving up after d.
+func (t *Task) TakeTimeout(s *Semaphore, d sim.Time) bool {
+	t.syscall(request{kind: reqSemTake, sem: s, timeout: d, hasTimeout: true})
+	return t.blockOK
+}
+
+// Give releases one unit to the semaphore.
+func (t *Task) Give(s *Semaphore) {
+	t.syscall(request{kind: reqSemGive, sem: s})
+}
+
+// Lock acquires mu, blocking while it is held. The holder's priority is
+// boosted to the highest priority among waiters (priority inheritance).
+func (t *Task) Lock(mu *Mutex) {
+	t.syscall(request{kind: reqMutexLock, mu: mu})
+}
+
+// Unlock releases mu, restoring the holder's inherited priority.
+func (t *Task) Unlock(mu *Mutex) {
+	t.syscall(request{kind: reqMutexUnlock, mu: mu})
+}

@@ -1,0 +1,127 @@
+package rtos
+
+import (
+	"fmt"
+	"strings"
+
+	"rmtest/internal/sim"
+)
+
+// TraceKind classifies a scheduler trace record.
+type TraceKind int
+
+// Trace record kinds.
+const (
+	TraceReady    TraceKind = iota // task entered the ready list
+	TraceDispatch                  // task took the CPU
+	TraceSwitch                    // context switch toward task began
+	TracePreempt                   // task lost the CPU to a higher-priority task
+	TraceSleep                     // task started sleeping
+	TraceYield                     // task yielded
+	TraceBlock                     // task blocked on a queue/semaphore/mutex
+	TraceExit                      // task body returned
+	TraceISR                       // interrupt service routine ran
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceReady:
+		return "ready"
+	case TraceDispatch:
+		return "dispatch"
+	case TraceSwitch:
+		return "switch"
+	case TracePreempt:
+		return "preempt"
+	case TraceSleep:
+		return "sleep"
+	case TraceYield:
+		return "yield"
+	case TraceBlock:
+		return "block"
+	case TraceExit:
+		return "exit"
+	case TraceISR:
+		return "isr"
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceRecord is one scheduler event.
+type TraceRecord struct {
+	At   sim.Time
+	Kind TraceKind
+	Task string // empty for ISR records
+}
+
+func (r TraceRecord) String() string {
+	if r.Task == "" {
+		return fmt.Sprintf("%12v %s", r.At, r.Kind)
+	}
+	return fmt.Sprintf("%12v %-8s %s", r.At, r.Kind, r.Task)
+}
+
+// Trace is a bounded ring buffer of scheduler events. When full, the
+// oldest records are overwritten.
+type Trace struct {
+	buf     []TraceRecord
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+func newTrace(capacity int) *Trace {
+	return &Trace{buf: make([]TraceRecord, 0, capacity)}
+}
+
+func (tr *Trace) add(at sim.Time, kind TraceKind, t *Task) {
+	name := ""
+	if t != nil {
+		name = t.name
+	}
+	rec := TraceRecord{At: at, Kind: kind, Task: name}
+	tr.total++
+	if len(tr.buf) < cap(tr.buf) {
+		tr.buf = append(tr.buf, rec)
+		return
+	}
+	tr.buf[tr.next] = rec
+	tr.next = (tr.next + 1) % cap(tr.buf)
+	tr.wrapped = true
+}
+
+// Total returns the number of records ever added (including overwritten
+// ones).
+func (tr *Trace) Total() uint64 { return tr.total }
+
+// Records returns the retained records in chronological order.
+func (tr *Trace) Records() []TraceRecord {
+	if !tr.wrapped {
+		return append([]TraceRecord(nil), tr.buf...)
+	}
+	out := make([]TraceRecord, 0, len(tr.buf))
+	out = append(out, tr.buf[tr.next:]...)
+	out = append(out, tr.buf[:tr.next]...)
+	return out
+}
+
+// Filter returns retained records matching kind, chronologically.
+func (tr *Trace) Filter(kind TraceKind) []TraceRecord {
+	var out []TraceRecord
+	for _, r := range tr.Records() {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the retained trace, one record per line.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	for _, r := range tr.Records() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+// Package sim provides the discrete-event simulation kernel that every
+// other substrate in this repository runs on.
+//
+// The kernel owns a virtual clock (nanoseconds since simulation start,
+// represented as time.Duration) and an ordered queue of timed events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes every simulation in this repository fully
+// deterministic: the same program produces the same trace, bit for bit.
+//
+// The kernel is intentionally single-threaded. Higher layers (notably
+// internal/rtos) build coroutine-style concurrency on top of it, but at any
+// moment exactly one piece of simulation logic is executing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual-time instant measured from the start of the simulation.
+// It is an alias of time.Duration so that callers can use the ordinary
+// duration literals (25 * time.Millisecond) for both instants and spans.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is created by Kernel.At / Kernel.After
+// and may be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once fired or cancelled-and-removed
+	kernel   *Kernel
+}
+
+// At reports the virtual instant the event is scheduled to fire at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	heap.Remove(&e.kernel.queue, e.index)
+	e.index = -1
+	return true
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// MaxSameInstant bounds how many events may fire at one virtual instant
+// before the kernel declares a zero-time livelock. Well-formed models
+// fire at most a handful of events per instant; an unbounded chain means
+// some process loops without consuming virtual time, which would
+// otherwise hang the simulation silently.
+const MaxSameInstant = 1 << 20
+
+// Kernel is the discrete-event simulator. The zero value is ready to use.
+type Kernel struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	stopped   bool
+	fired     uint64
+	atInstant int
+}
+
+// New returns a fresh kernel with the clock at zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired returns the number of events executed so far. It is useful in
+// tests and benchmarks as a cheap measure of simulation activity.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at the absolute virtual instant t. Scheduling in
+// the past (t < Now) panics: in a deterministic simulator that is always a
+// logic error, and silently clamping it would hide real bugs.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: at=%v now=%v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, kernel: k}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Step fires the single next event, advancing the clock to its instant.
+// It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at == k.now {
+			k.atInstant++
+			if k.atInstant > MaxSameInstant {
+				panic(fmt.Sprintf("sim: zero-time livelock: more than %d events at t=%v", MaxSameInstant, k.now))
+			}
+		} else {
+			k.atInstant = 0
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Stop makes the current Run call return after the event in progress
+// completes. It may be called from inside an event callback.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run fires events until the queue is empty, Stop is called, or the next
+// event lies strictly beyond horizon. The clock never exceeds horizon: if
+// the queue drains (or Run stops at a later event) the clock is advanced to
+// exactly horizon, so back-to-back Run calls see monotone time.
+func (k *Kernel) Run(horizon Time) {
+	if horizon < k.now {
+		panic(fmt.Sprintf("sim: Run horizon %v before now %v", horizon, k.now))
+	}
+	k.stopped = false
+	for !k.stopped {
+		// Peek at the next non-cancelled event.
+		next := k.peek()
+		if next == nil || next.at > horizon {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// RunUntilIdle fires events until none remain or Stop is called. Callers
+// must guarantee the event graph terminates (e.g. no self-rearming periodic
+// timer), otherwise this loops forever; prefer Run with a horizon.
+func (k *Kernel) RunUntilIdle() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+func (k *Kernel) peek() *Event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}
+
+// Periodic schedules fn every period, first at start, until the returned
+// Ticker is stopped. fn receives the tick index, starting at 0.
+func (k *Kernel) Periodic(start, period Time, fn func(n uint64)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn}
+	t.ev = k.At(start, t.fire)
+	return t
+}
+
+// Ticker is a self-rearming periodic event created by Kernel.Periodic.
+type Ticker struct {
+	kernel  *Kernel
+	period  Time
+	fn      func(uint64)
+	n       uint64
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	n := t.n
+	t.n++
+	// Re-arm before running the callback so the callback can Stop the
+	// ticker and observe Pending()==false afterwards.
+	t.ev = t.kernel.After(t.period, t.fire)
+	t.fn(n)
+}
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Ticks returns how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.n }

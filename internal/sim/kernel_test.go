@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroKernelUsable(t *testing.T) {
+	var k Kernel
+	ran := false
+	k.After(time.Millisecond, func() { ran = true })
+	k.Run(time.Second)
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("clock should land on horizon, got %v", k.Now())
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(30*time.Millisecond, func() { order = append(order, 3) })
+	k.At(10*time.Millisecond, func() { order = append(order, 1) })
+	k.At(20*time.Millisecond, func() { order = append(order, 2) })
+	k.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	k.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie not broken FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.After(10*time.Millisecond, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !e.Cancel() {
+		t.Fatal("first cancel should report true")
+	}
+	if e.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	k.Run(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestCancelFromSibling(t *testing.T) {
+	// An event scheduled at the same instant can cancel a later sibling.
+	k := New()
+	fired := false
+	var victim *Event
+	k.At(time.Millisecond, func() { victim.Cancel() })
+	victim = k.At(time.Millisecond, func() { fired = true })
+	k.Run(time.Second)
+	if fired {
+		t.Fatal("victim fired despite cancellation at same instant")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New()
+	var times []Time
+	k.After(time.Millisecond, func() {
+		times = append(times, k.Now())
+		k.After(2*time.Millisecond, func() {
+			times = append(times, k.Now())
+		})
+	})
+	k.Run(time.Second)
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 3*time.Millisecond {
+		t.Fatalf("nested schedule wrong: %v", times)
+	}
+}
+
+func TestScheduleAtCurrentInstantDuringEvent(t *testing.T) {
+	k := New()
+	var seen []string
+	k.After(time.Millisecond, func() {
+		k.After(0, func() { seen = append(seen, "child") })
+		seen = append(seen, "parent")
+	})
+	k.Run(time.Second)
+	if len(seen) != 2 || seen[0] != "parent" || seen[1] != "child" {
+		t.Fatalf("zero-delay child should run after parent returns: %v", seen)
+	}
+	if k.EventsFired() != 2 {
+		t.Fatalf("EventsFired = %d, want 2", k.EventsFired())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	k := New()
+	k.After(time.Millisecond, func() {})
+	k.Run(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	k.At(0, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	k.After(-time.Millisecond, func() {})
+}
+
+func TestRunHorizonExclusive(t *testing.T) {
+	k := New()
+	fired := false
+	k.At(10*time.Millisecond, func() { fired = true })
+	k.Run(9 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if k.Now() != 9*time.Millisecond {
+		t.Fatalf("clock = %v, want horizon", k.Now())
+	}
+	k.Run(10 * time.Millisecond)
+	if !fired {
+		t.Fatal("event at horizon should fire")
+	}
+}
+
+func TestStopInsideEvent(t *testing.T) {
+	k := New()
+	count := 0
+	k.At(time.Millisecond, func() { count++; k.Stop() })
+	k.At(2*time.Millisecond, func() { count++ })
+	k.Run(time.Second)
+	if count != 1 {
+		t.Fatalf("Stop did not halt the run, count=%d", count)
+	}
+	// A fresh Run resumes.
+	k.Run(time.Second)
+	if count != 2 {
+		t.Fatalf("second Run did not resume, count=%d", count)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	k := New()
+	n := 0
+	var rec func()
+	rec = func() {
+		n++
+		if n < 5 {
+			k.After(time.Millisecond, rec)
+		}
+	}
+	k.After(time.Millisecond, rec)
+	k.RunUntilIdle()
+	if n != 5 {
+		t.Fatalf("n=%d, want 5", n)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending=%d after idle", k.Pending())
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	k := New()
+	var at []Time
+	tk := k.Periodic(5*time.Millisecond, 10*time.Millisecond, func(n uint64) {
+		at = append(at, k.Now())
+	})
+	k.Run(36 * time.Millisecond)
+	if len(at) != 4 {
+		t.Fatalf("ticks=%d want 4 (%v)", len(at), at)
+	}
+	for i, want := range []Time{5, 15, 25, 35} {
+		if at[i] != want*time.Millisecond {
+			t.Fatalf("tick %d at %v", i, at[i])
+		}
+	}
+	tk.Stop()
+	k.Run(100 * time.Millisecond)
+	if len(at) != 4 {
+		t.Fatal("ticker fired after Stop")
+	}
+	if tk.Ticks() != 4 {
+		t.Fatalf("Ticks()=%d", tk.Ticks())
+	}
+}
+
+func TestPeriodicStopFromCallback(t *testing.T) {
+	k := New()
+	var tk *Ticker
+	n := 0
+	tk = k.Periodic(0, time.Millisecond, func(uint64) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	k.Run(time.Second)
+	if n != 3 {
+		t.Fatalf("n=%d want 3", n)
+	}
+}
+
+func TestManyEventsHeapStress(t *testing.T) {
+	k := New()
+	r := NewRand(1)
+	fired := 0
+	const n = 5000
+	var last Time
+	for i := 0; i < n; i++ {
+		k.At(r.Duration(0, time.Second), func() {
+			if k.Now() < last {
+				t.Errorf("time went backwards: %v < %v", k.Now(), last)
+			}
+			last = k.Now()
+			fired++
+		})
+	}
+	k.Run(time.Second)
+	if fired != n {
+		t.Fatalf("fired %d of %d", fired, n)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		r := NewRand(seed)
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDurationRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, lo32, span32 uint32) bool {
+		lo := Time(lo32)
+		hi := lo + Time(span32)
+		r := NewRand(seed)
+		d := r.Duration(lo, hi)
+		return d >= lo && d <= hi
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(9)
+	child := r.Fork()
+	// Parent and child streams should not be identical.
+	same := true
+	for i := 0; i < 16; i++ {
+		if r.Uint64() != child.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forked stream identical to parent")
+	}
+}
+
+func TestZeroTimeLivelockDetected(t *testing.T) {
+	k := New()
+	var rearm func()
+	rearm = func() { k.After(0, rearm) }
+	k.After(0, rearm)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected livelock panic")
+		}
+	}()
+	k.Run(time.Second)
+}
+
+func TestSameInstantBurstBelowLimitIsFine(t *testing.T) {
+	k := New()
+	n := 0
+	for i := 0; i < 10000; i++ {
+		k.At(time.Millisecond, func() { n++ })
+	}
+	k.Run(time.Second)
+	if n != 10000 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestEventAtAccessor(t *testing.T) {
+	k := New()
+	e := k.At(5*time.Millisecond, func() {})
+	if e.At() != 5*time.Millisecond {
+		t.Fatalf("At()=%v", e.At())
+	}
+}

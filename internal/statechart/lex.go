@@ -1,0 +1,111 @@
+package statechart
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens of the action language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokOp // one of the operator/punctuation strings
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int // byte offset in the source, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer turns action-language source into tokens. It is shared by the
+// expression, action and trigger parsers.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex scans the entire input eagerly; action-language fragments are tiny,
+// so the simplicity is worth more than streaming.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("statechart: bad number %q at offset %d", l.src[start:l.pos], start)
+		}
+		return token{kind: tokNumber, num: n, pos: start}, nil
+	}
+	// Two-character operators first.
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		switch two {
+		case ":=", "==", "!=", "<=", ">=", "&&", "||":
+			l.pos += 2
+			return token{kind: tokOp, text: two, pos: start}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '!', '(', ')', ',', ';', '=':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("statechart: unexpected character %q at offset %d", rune(c), start)
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

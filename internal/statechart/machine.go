@@ -1,0 +1,448 @@
+package statechart
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TakenTransition describes one transition taken during a Step.
+type TakenTransition struct {
+	Index int // global transition index (stable row id in codegen tables)
+	From  string
+	To    string
+	Label string
+}
+
+// StepResult reports what one clock tick did.
+type StepResult struct {
+	// Taken lists the transitions taken, in order. Empty when the
+	// configuration was stable for this tick.
+	Taken []TakenTransition
+	// Changed lists output variables whose value changed during the step,
+	// sorted by name: the net effect the platform commits to actuators.
+	Changed []VarChange
+	// Writes lists every individual value-changing assignment to an
+	// output variable, in execution order. A write that is later undone
+	// within the same step still appears here — these are the model-level
+	// o-events, which the verifier checks obligations against.
+	Writes []VarChange
+	// Err is non-nil if an action or guard failed to evaluate (e.g.
+	// division by zero). The machine stops taking transitions for the
+	// step when this happens.
+	Err error
+}
+
+// VarChange is an output variable change observed during a step.
+type VarChange struct {
+	Name string
+	From int64
+	To   int64
+}
+
+// MaxChain bounds the number of chained transitions within a single
+// super-step; exceeding it indicates a livelocked model.
+const MaxChain = 64
+
+// Machine is the interpreted chart runtime. It executes the model
+// semantics directly and serves as the executable reference that the
+// generated code (internal/codegen) is differentially tested against.
+type Machine struct {
+	cc     *Compiled
+	active *compiledState // active leaf
+	vars   map[string]int64
+	// entryTick records, per active ancestor chain state, the tick index
+	// at which it was entered; temporal triggers compare against it.
+	entryTick map[*compiledState]int64
+	// lastChild records, per composite with a history junction, the
+	// direct child that was active at the last exit.
+	lastChild map[*compiledState]*compiledState
+	tick      int64
+	superStep bool
+}
+
+// NewMachine creates a machine in the chart's initial configuration with
+// all variables at their declared initial values. Super-step semantics
+// (chaining transitions within one tick until stable) is enabled, matching
+// the generated code the paper's flow produces.
+func NewMachine(cc *Compiled) *Machine {
+	m := &Machine{
+		cc:        cc,
+		vars:      make(map[string]int64, len(cc.varList)),
+		entryTick: make(map[*compiledState]int64),
+		lastChild: make(map[*compiledState]*compiledState),
+		superStep: true,
+	}
+	for _, v := range cc.varList {
+		m.vars[v.Name] = v.Init
+	}
+	m.enterFrom(cc.initial)
+	return m
+}
+
+// SetSuperStep toggles transition chaining within one tick. With it off,
+// at most one transition fires per Step.
+func (m *Machine) SetSuperStep(on bool) { m.superStep = on }
+
+// descendChild picks the child to descend into: the history child when
+// the composite has a history junction and was exited before, otherwise
+// the initial child.
+func (m *Machine) descendChild(s *compiledState) *compiledState {
+	if s.history {
+		if last, ok := m.lastChild[s]; ok {
+			return last
+		}
+	}
+	return s.initial
+}
+
+// enterFrom descends from s to its initial (or history) leaf, running
+// entry actions.
+func (m *Machine) enterFrom(s *compiledState) {
+	for s != nil {
+		m.entryTick[s] = m.tick
+		m.runAction(s.entry, nil)
+		if s.initial == nil {
+			m.active = s
+			return
+		}
+		s = m.descendChild(s)
+	}
+}
+
+// ActiveState returns the name of the active leaf state.
+func (m *Machine) ActiveState() string { return m.active.name }
+
+// ActivePath returns the active state chain from the top-level state down
+// to the leaf.
+func (m *Machine) ActivePath() []string {
+	var rev []string
+	for s := m.active; s != nil; s = s.parent {
+		rev = append(rev, s.name)
+	}
+	out := make([]string, len(rev))
+	for i, n := range rev {
+		out[len(rev)-1-i] = n
+	}
+	return out
+}
+
+// Tick returns the number of Steps executed so far.
+func (m *Machine) Tick() int64 { return m.tick }
+
+// Get returns the value of a declared variable.
+func (m *Machine) Get(name string) int64 {
+	v, ok := m.vars[name]
+	if !ok {
+		panic(fmt.Sprintf("statechart: Get of undeclared variable %q", name))
+	}
+	return v
+}
+
+// SetInput writes an input variable; the platform's input-interfacing
+// code calls this before Step.
+func (m *Machine) SetInput(name string, v int64) {
+	d, ok := m.cc.vars[name]
+	if !ok || d.Kind != Input {
+		panic(fmt.Sprintf("statechart: SetInput of non-input %q", name))
+	}
+	m.vars[name] = v
+}
+
+// Vars returns a copy of the full variable valuation.
+func (m *Machine) Vars() map[string]int64 {
+	out := make(map[string]int64, len(m.vars))
+	for k, v := range m.vars {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *Machine) env(name string) (int64, bool) {
+	v, ok := m.vars[name]
+	return v, ok
+}
+
+func (m *Machine) runAction(a Action, res *StepResult) {
+	for _, as := range a {
+		v, err := Eval(as.X, m.env)
+		if err != nil {
+			if res != nil && res.Err == nil {
+				res.Err = err
+			}
+			return
+		}
+		old := m.vars[as.Name]
+		m.vars[as.Name] = v
+		if res != nil && old != v && m.cc.vars[as.Name].Kind == Output {
+			res.Writes = append(res.Writes, VarChange{Name: as.Name, From: old, To: v})
+		}
+	}
+}
+
+// ticksIn reports how many ticks state s (an ancestor or the leaf) has
+// been active, counting the current tick.
+func (m *Machine) ticksIn(s *compiledState) int64 {
+	return m.tick - m.entryTick[s]
+}
+
+// enabled reports whether transition t may fire given the events of this
+// tick.
+func (m *Machine) enabled(t *compiledTransition, events map[string]bool, res *StepResult) bool {
+	switch t.trig.Kind {
+	case TrigEvent:
+		if !events[t.trig.Event] {
+			return false
+		}
+	case TrigAfter:
+		if m.ticksIn(t.from) < t.trig.N {
+			return false
+		}
+	case TrigBefore:
+		if m.ticksIn(t.from) >= t.trig.N {
+			return false
+		}
+	case TrigAt:
+		if m.ticksIn(t.from) != t.trig.N {
+			return false
+		}
+	}
+	if t.guard == nil {
+		return true
+	}
+	v, err := Eval(t.guard, m.env)
+	if err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		return false
+	}
+	return v != 0
+}
+
+// pickTransition searches the active leaf and then its ancestors for the
+// first enabled transition, in document order per state.
+func (m *Machine) pickTransition(events map[string]bool, res *StepResult) *compiledTransition {
+	for s := m.active; s != nil; s = s.parent {
+		for _, t := range s.trans {
+			if m.enabled(t, events, res) {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// fire executes transition t: exit actions up from the leaf to (but not
+// including) the common ancestor scope, the transition action, then entry
+// actions down to the target leaf.
+func (m *Machine) fire(t *compiledTransition, res *StepResult) {
+	// Exit from the active leaf up through the transition's source scope,
+	// recording history along the way.
+	exitTo := t.from.parent
+	var prev *compiledState
+	for s := m.active; s != nil && s != exitTo; s = s.parent {
+		m.runAction(s.exit, res)
+		delete(m.entryTick, s)
+		if prev != nil && s.history {
+			m.lastChild[s] = prev
+		}
+		prev = s
+	}
+	m.runAction(t.action, res)
+	// Enter target: ensure ancestors of the target that are not already
+	// active get entry timestamps too.
+	m.enterChain(t.to, exitTo, res)
+	res.Taken = append(res.Taken, TakenTransition{
+		Index: t.index, From: t.from.name, To: t.to.name, Label: t.label,
+	})
+}
+
+// enterChain enters target (and any ancestors between scope and target
+// that are not yet active), then descends to the initial leaf.
+func (m *Machine) enterChain(target, scope *compiledState, res *StepResult) {
+	// Collect ancestors of target up to (not including) scope.
+	var chain []*compiledState
+	for s := target; s != nil && s != scope; s = s.parent {
+		chain = append(chain, s)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		s := chain[i]
+		m.entryTick[s] = m.tick
+		m.runAction(s.entry, res)
+	}
+	s := target
+	for s.initial != nil {
+		s = m.descendChild(s)
+		m.entryTick[s] = m.tick
+		m.runAction(s.entry, res)
+	}
+	m.active = s
+}
+
+// Step executes one E_CLK tick with the given input events fired. It
+// applies super-step semantics unless disabled: transitions chain until
+// the configuration is stable or MaxChain is exceeded. An event is
+// consumed by the first transition it triggers, so only temporal and
+// guard-only transitions extend a chain — e.g. the pump model's
+// Idle->BolusRequested (on i_BolusReq) chains into
+// BolusRequested->Infusion (before(100, E_CLK)) within one tick.
+func (m *Machine) Step(events ...string) StepResult {
+	evset := make(map[string]bool, len(events))
+	for _, e := range events {
+		if !m.cc.events[e] {
+			panic(fmt.Sprintf("statechart: Step with undeclared event %q", e))
+		}
+		evset[e] = true
+	}
+	before := m.snapshotOutputs()
+	var res StepResult
+	for n := 0; ; n++ {
+		if n >= MaxChain {
+			res.Err = fmt.Errorf("statechart %s: transition chain exceeded %d (livelock?)", m.cc.chart.Name, MaxChain)
+			break
+		}
+		t := m.pickTransition(evset, &res)
+		if t == nil || res.Err != nil {
+			break
+		}
+		if t.trig.Kind == TrigEvent {
+			delete(evset, t.trig.Event) // an event triggers at most one transition
+		}
+		m.fire(t, &res)
+		if !m.superStep {
+			break
+		}
+	}
+	if len(res.Taken) == 0 && res.Err == nil {
+		// Stable tick: run during actions along the active chain.
+		for s := m.active; s != nil; s = s.parent {
+			m.runAction(s.during, &res)
+		}
+	}
+	res.Changed = m.diffOutputs(before)
+	m.tick++
+	return res
+}
+
+func (m *Machine) snapshotOutputs() map[string]int64 {
+	out := make(map[string]int64)
+	for _, v := range m.cc.varList {
+		if v.Kind == Output {
+			out[v.Name] = m.vars[v.Name]
+		}
+	}
+	return out
+}
+
+func (m *Machine) diffOutputs(before map[string]int64) []VarChange {
+	var changes []VarChange
+	for name, old := range before {
+		if now := m.vars[name]; now != old {
+			changes = append(changes, VarChange{Name: name, From: old, To: now})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].Name < changes[j].Name })
+	return changes
+}
+
+// MachineState is a saved machine configuration, used by the model
+// checker to explore the chart's state space.
+type MachineState struct {
+	active    *compiledState
+	vars      map[string]int64
+	entryTick map[*compiledState]int64
+	lastChild map[*compiledState]*compiledState
+	tick      int64
+}
+
+// Snapshot captures the current configuration, including history
+// junctions.
+func (m *Machine) Snapshot() MachineState {
+	vars := make(map[string]int64, len(m.vars))
+	for k, v := range m.vars {
+		vars[k] = v
+	}
+	entry := make(map[*compiledState]int64, len(m.entryTick))
+	for k, v := range m.entryTick {
+		entry[k] = v
+	}
+	last := make(map[*compiledState]*compiledState, len(m.lastChild))
+	for k, v := range m.lastChild {
+		last[k] = v
+	}
+	return MachineState{active: m.active, vars: vars, entryTick: entry, lastChild: last, tick: m.tick}
+}
+
+// Restore returns the machine to a previously captured configuration.
+func (m *Machine) Restore(s MachineState) {
+	m.active = s.active
+	m.tick = s.tick
+	m.vars = make(map[string]int64, len(s.vars))
+	for k, v := range s.vars {
+		m.vars[k] = v
+	}
+	m.entryTick = make(map[*compiledState]int64, len(s.entryTick))
+	for k, v := range s.entryTick {
+		m.entryTick[k] = v
+	}
+	m.lastChild = make(map[*compiledState]*compiledState, len(s.lastChild))
+	for k, v := range s.lastChild {
+		m.lastChild[k] = v
+	}
+}
+
+// HistoryLeaves returns, for key canonicalisation in the model checker,
+// the names of the remembered history children in a stable order.
+func (m *Machine) HistoryLeaves() []string {
+	if len(m.lastChild) == 0 {
+		return nil
+	}
+	var out []string
+	for _, s := range m.cc.order {
+		if child, ok := m.lastChild[s]; ok {
+			out = append(out, s.name+":"+child.name)
+		}
+	}
+	return out
+}
+
+// ActiveTicks returns, for each state on the active path (root to leaf),
+// how many ticks it has been active.
+func (m *Machine) ActiveTicks() []int64 {
+	var rev []int64
+	for s := m.active; s != nil; s = s.parent {
+		rev = append(rev, m.ticksIn(s))
+	}
+	out := make([]int64, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// MaxTemporalConst returns the largest tick constant appearing in any
+// temporal trigger of the chart; the model checker uses it to saturate
+// counters soundly.
+func (cc *Compiled) MaxTemporalConst() int64 {
+	var max int64
+	for _, t := range cc.trans {
+		if t.trig.Kind == TrigAfter || t.trig.Kind == TrigBefore || t.trig.Kind == TrigAt {
+			if t.trig.N > max {
+				max = t.trig.N
+			}
+		}
+	}
+	return max
+}
+
+// Reset returns the machine to the initial configuration and valuation,
+// clearing history junctions.
+func (m *Machine) Reset() {
+	m.tick = 0
+	m.entryTick = make(map[*compiledState]int64)
+	m.lastChild = make(map[*compiledState]*compiledState)
+	for _, v := range m.cc.varList {
+		m.vars[v.Name] = v.Init
+	}
+	m.enterFrom(m.cc.initial)
+}

@@ -1,0 +1,297 @@
+package statechart
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalWith(t *testing.T, src string, env map[string]int64) int64 {
+	t.Helper()
+	e := mustExpr(t, src)
+	v, err := Eval(e, func(n string) (int64, bool) { x, ok := env[n]; return x, ok })
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 4 - 3", 3},
+		{"7 / 2", 3},
+		{"7 % 3", 1},
+		{"-5 + 2", -3},
+		{"- (2 + 3)", -5},
+		{"abs(-4)", 4},
+		{"min(3, 9)", 3},
+		{"max(3, 9)", 9},
+		{"min(3, max(1, 2))", 2},
+	}
+	for _, c := range cases {
+		if got := evalWith(t, c.src, nil); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprComparisonAndLogic(t *testing.T) {
+	env := map[string]int64{"x": 5, "y": 0}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"x == 5", 1},
+		{"x != 5", 0},
+		{"x < 6 && x > 4", 1},
+		{"x <= 5", 1},
+		{"x >= 6", 0},
+		{"y || x > 0", 1},
+		{"!y", 1},
+		{"!x", 0},
+		{"true && !false", 1},
+		{"x > 0 && y == 0 || false", 1},
+		{"1 + 2 == 3", 1},
+	}
+	for _, c := range cases {
+		if got := evalWith(t, c.src, env); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuitSkipsDivisionByZero(t *testing.T) {
+	// && short-circuits: the division by zero on the right must not run.
+	if got := evalWith(t, "false && 1/0 == 0", nil); got != 0 {
+		t.Fatalf("got %d", got)
+	}
+	if got := evalWith(t, "true || 1/0 == 0", nil); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestDivisionByZeroIsError(t *testing.T) {
+	e := mustExpr(t, "1 / 0")
+	if _, err := Eval(e, func(string) (int64, bool) { return 0, false }); err == nil {
+		t.Fatal("expected error")
+	}
+	e = mustExpr(t, "1 % 0")
+	if _, err := Eval(e, func(string) (int64, bool) { return 0, false }); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUndefinedVariableIsError(t *testing.T) {
+	e := mustExpr(t, "ghost + 1")
+	if _, err := Eval(e, func(string) (int64, bool) { return 0, false }); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"1 +",
+		"(1 + 2",
+		"1 2",
+		"min(1)",
+		"abs(1, 2)",
+		"foo(1)", // unknown call parses as ref followed by junk
+		"@",
+		"1 $ 2",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestEmptyExprIsNil(t *testing.T) {
+	e, err := ParseExpr("   ")
+	if err != nil || e != nil {
+		t.Fatalf("e=%v err=%v", e, err)
+	}
+}
+
+func TestParseAction(t *testing.T) {
+	a, err := ParseAction("x := 1; y := x + 2; z := y * y;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || a[0].Name != "x" || a[2].Name != "z" {
+		t.Fatalf("parsed %v", a)
+	}
+	if a.NodeCount() <= 3 {
+		t.Fatalf("node count %d", a.NodeCount())
+	}
+}
+
+func TestParseActionEqualsAlias(t *testing.T) {
+	a, err := ParseAction("x = 4")
+	if err != nil || len(a) != 1 {
+		t.Fatalf("a=%v err=%v", a, err)
+	}
+}
+
+func TestParseActionErrors(t *testing.T) {
+	bad := []string{"x", "x :=", ":= 1", "x := 1 y := 2", "1 := 2"}
+	for _, src := range bad {
+		if _, err := ParseAction(src); err == nil {
+			t.Errorf("ParseAction(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseTrigger(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TriggerKind
+		ev   string
+		n    int64
+	}{
+		{"", TrigNone, "", 0},
+		{"i_BolusReq", TrigEvent, "i_BolusReq", 0},
+		{"after(10, E_CLK)", TrigAfter, "", 10},
+		{"before(100, E_CLK)", TrigBefore, "", 100},
+		{"at(4000, E_CLK)", TrigAt, "", 4000},
+	}
+	for _, c := range cases {
+		tr, err := ParseTrigger(c.src)
+		if err != nil {
+			t.Fatalf("ParseTrigger(%q): %v", c.src, err)
+		}
+		if tr.Kind != c.kind || tr.Event != c.ev || tr.N != c.n {
+			t.Errorf("ParseTrigger(%q) = %+v", c.src, tr)
+		}
+	}
+}
+
+func TestParseTriggerErrors(t *testing.T) {
+	bad := []string{
+		"after(10)",
+		"after(10, WRONG_CLK)",
+		"at(x, E_CLK)",
+		"two events",
+		"before 100",
+	}
+	for _, src := range bad {
+		if _, err := ParseTrigger(src); err == nil {
+			t.Errorf("ParseTrigger(%q) should fail", src)
+		}
+	}
+}
+
+func TestTriggerRoundTrip(t *testing.T) {
+	for _, src := range []string{"i_Evt", "after(3, E_CLK)", "before(100, E_CLK)", "at(4000, E_CLK)"} {
+		tr, err := ParseTrigger(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := ParseTrigger(tr.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", tr.String(), err)
+		}
+		if tr != tr2 {
+			t.Fatalf("round trip %q -> %+v -> %+v", src, tr, tr2)
+		}
+	}
+}
+
+// Property: the printed form of any parsed expression re-parses to an
+// expression with identical evaluation on a fixed environment.
+func TestExprStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"a + b * c - d",
+		"(a + b) * (c - d)",
+		"a < b && c >= d || !e",
+		"min(a, b) + max(c, abs(d))",
+		"a % (b + 1) / 2",
+	}
+	env := func(n string) (int64, bool) {
+		return int64(len(n)) + 3, true // deterministic non-trivial values
+	}
+	for _, src := range srcs {
+		e1 := mustExpr(t, src)
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q): %v", src, e1.String(), err)
+		}
+		v1, err1 := Eval(e1, env)
+		v2, err2 := Eval(e2, env)
+		if err1 != nil || err2 != nil || v1 != v2 {
+			t.Fatalf("%q: %d vs %d", src, v1, v2)
+		}
+	}
+}
+
+// Property: random well-formed comparison chains never produce values
+// outside {0,1}.
+func TestBooleanResultsAreZeroOne(t *testing.T) {
+	f := func(a, b int32) bool {
+		env := map[string]int64{"a": int64(a), "b": int64(b)}
+		for _, src := range []string{"a < b", "a == b", "a >= b", "a != b && a <= b"} {
+			v := evalWith(t, src, env)
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefsCollects(t *testing.T) {
+	e := mustExpr(t, "a + min(b, c) * -d")
+	got := Refs(e, nil)
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	if len(got) != 4 {
+		t.Fatalf("refs=%v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected ref %q", n)
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	if n := NodeCount(mustExpr(t, "1")); n != 1 {
+		t.Fatalf("n=%d", n)
+	}
+	if n := NodeCount(mustExpr(t, "1 + 2 * 3")); n != 5 {
+		t.Fatalf("n=%d", n)
+	}
+	if NodeCount(nil) != 0 {
+		t.Fatal("nil should count 0")
+	}
+}
+
+func TestLexerRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"#", "`x`", "\"s\""} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+	if !strings.Contains(func() string {
+		_, err := lex("?")
+		return err.Error()
+	}(), "unexpected character") {
+		t.Fatal("error should mention unexpected character")
+	}
+}

@@ -1,0 +1,467 @@
+// Package verify checks timing requirements at the model level — the
+// "Modeling & Verification" phase of Fig. 1, for which the paper's case
+// study uses Simulink Design Verifier. It establishes the framework's
+// premise: the requirement HOLDS on the model (with its
+// instantaneous-input semantics), so any violation R-testing later finds
+// in the implemented system is a platform-integration effect, not a model
+// bug.
+//
+// The checker performs explicit-state bounded model checking over chart
+// configurations. Inputs are nondeterministic: every subset of input
+// events and every combination of declared input-variable domains is
+// explored at each tick. Temporal counters are soundly saturated above
+// the chart's largest temporal constant, making the reachable abstract
+// state space finite.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rmtest/internal/statechart"
+)
+
+// ResponseProperty is the verified requirement shape (REQ1's model-level
+// form): whenever Event fires while the chart is in InState, Output must
+// change to a value satisfying Target within WithinTicks E_CLK ticks.
+type ResponseProperty struct {
+	Name string
+	// Event is the triggering input event.
+	Event string
+	// InState restricts triggering to configurations whose active path
+	// contains this state. Empty means any state.
+	InState string
+	// Output is the observed output variable.
+	Output string
+	// Target decides whether an output change discharges the obligation.
+	Target func(int64) bool
+	// TargetDesc documents Target in reports.
+	TargetDesc string
+	// WithinTicks is the deadline in E_CLK ticks.
+	WithinTicks int64
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxVisited caps the number of distinct abstract states explored;
+	// hitting the cap yields OutcomeBounded. Default 200000.
+	MaxVisited int
+	// InputDomains lists the values explored for each input variable.
+	// Variables without an entry default to {0, 1}.
+	InputDomains map[string][]int64
+}
+
+// Outcome classifies a verification result.
+type Outcome int
+
+// Verification outcomes.
+const (
+	// Holds: the property is satisfied on every reachable configuration.
+	Holds Outcome = iota
+	// Violated: a counterexample trace was found.
+	Violated
+	// Bounded: no violation found before the state cap was hit.
+	Bounded
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Holds:
+		return "holds"
+	case Violated:
+		return "VIOLATED"
+	case Bounded:
+		return "bounded"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// CexStep is one tick of a counterexample trace.
+type CexStep struct {
+	Events []string
+	Inputs map[string]int64
+	State  string // active leaf after the step
+}
+
+// Result is a verification verdict.
+type Result struct {
+	Property ResponseProperty
+	Outcome  Outcome
+	Visited  int
+	// Counterexample is the stimulus sequence leading to the violation
+	// (only for Violated).
+	Counterexample []CexStep
+}
+
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %v (visited %d states)", r.Property.Name, r.Outcome, r.Visited)
+	for i, s := range r.Counterexample {
+		fmt.Fprintf(&b, "\n  tick %d: events=%v -> %s", i, s.Events, s.State)
+	}
+	return b.String()
+}
+
+// node is one frontier entry of the BFS.
+type node struct {
+	snap       statechart.MachineState
+	obligation int64 // remaining ticks; -1 = none pending
+	parent     *node
+	viaEvents  []string
+	viaInputs  map[string]int64
+	leaf       string
+}
+
+// CheckResponse verifies prop on the compiled chart.
+func CheckResponse(cc *statechart.Compiled, prop ResponseProperty, opt Options) (Result, error) {
+	if prop.Event == "" || prop.Output == "" || prop.Target == nil {
+		return Result{}, fmt.Errorf("verify: property needs Event, Output and Target")
+	}
+	events := cc.EventNames()
+	if !contains(events, prop.Event) {
+		return Result{}, fmt.Errorf("verify: unknown event %q", prop.Event)
+	}
+	if !contains(cc.VarNames(statechart.Output), prop.Output) {
+		return Result{}, fmt.Errorf("verify: unknown output %q", prop.Output)
+	}
+	if prop.InState != "" && !contains(cc.StateNames(), prop.InState) {
+		return Result{}, fmt.Errorf("verify: unknown state %q", prop.InState)
+	}
+	if prop.WithinTicks < 0 {
+		return Result{}, fmt.Errorf("verify: negative deadline")
+	}
+	maxVisited := opt.MaxVisited
+	if maxVisited <= 0 {
+		maxVisited = 200000
+	}
+	cap := cc.MaxTemporalConst() + 1
+	if prop.WithinTicks+1 > cap {
+		cap = prop.WithinTicks + 1
+	}
+	inputVars := cc.VarNames(statechart.Input)
+	inputCombos := enumerateInputs(inputVars, opt.InputDomains)
+	eventSubsets := enumerateSubsets(events)
+
+	rel := relevantVars(cc, prop.Output)
+	m := statechart.NewMachine(cc)
+	root := &node{snap: m.Snapshot(), obligation: -1, leaf: m.ActiveState()}
+	visited := map[string]bool{}
+	visited[key(m, -1, cap, rel)] = true
+	frontier := []*node{root}
+	res := Result{Property: prop, Visited: 1}
+
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, evs := range eventSubsets {
+			for _, ins := range inputCombos {
+				m.Restore(cur.snap)
+				// Trigger condition is evaluated in the pre-step
+				// configuration.
+				triggered := contains(evs, prop.Event) && (prop.InState == "" || pathContains(m, prop.InState))
+				for name, v := range ins {
+					m.SetInput(name, v)
+				}
+				sr := m.Step(evs...)
+				if sr.Err != nil {
+					return res, fmt.Errorf("verify: model error during exploration: %w", sr.Err)
+				}
+				// Only the oldest pending obligation is tracked, which is
+				// sound and complete for this property class: a matching
+				// output write discharges every pending obligation at
+				// once (younger triggers see the same response with a
+				// smaller delay), so the oldest obligation is always the
+				// binding one.
+				ob := cur.obligation
+				if triggered && ob < 0 {
+					ob = prop.WithinTicks
+				}
+				if ob >= 0 {
+					if discharged(sr.Writes, prop) {
+						ob = -1
+					} else if ob == 0 {
+						// Deadline expired without the response.
+						child := &node{parent: cur, viaEvents: evs, viaInputs: ins, leaf: m.ActiveState()}
+						res.Outcome = Violated
+						res.Counterexample = rebuild(child)
+						return res, nil
+					} else {
+						ob--
+					}
+				}
+				k := key(m, ob, cap, rel)
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+				res.Visited++
+				if res.Visited >= maxVisited {
+					res.Outcome = Bounded
+					return res, nil
+				}
+				frontier = append(frontier, &node{
+					snap: m.Snapshot(), obligation: ob,
+					parent: cur, viaEvents: evs, viaInputs: ins,
+					leaf: m.ActiveState(),
+				})
+			}
+		}
+	}
+	res.Outcome = Holds
+	return res, nil
+}
+
+// discharged reports whether any output write satisfies the property.
+// Writes (not net changes) are checked: a response that is overwritten
+// later in the same super-step still occurred as a model-level o-event.
+func discharged(writes []statechart.VarChange, prop ResponseProperty) bool {
+	for _, ch := range writes {
+		if ch.Name == prop.Output && prop.Target(ch.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// relevantVars computes the cone of influence: variables whose values can
+// affect control flow (guards) or any of the seed variables, directly or
+// through chains of assignments. Variables outside the cone — pure
+// counters that are written but never read, like the pump's bolus_count —
+// are projected out of the abstract state, keeping the exploration
+// finite.
+func relevantVars(cc *statechart.Compiled, seeds ...string) map[string]bool {
+	relevant := map[string]bool{}
+	for _, s := range seeds {
+		relevant[s] = true
+	}
+	// Collect every assignment once.
+	type assign struct {
+		target string
+		reads  []string
+	}
+	var assigns []assign
+	addAction := func(a statechart.Action) {
+		for _, as := range a {
+			assigns = append(assigns, assign{target: as.Name, reads: statechart.Refs(as.X, nil)})
+		}
+	}
+	cc.WalkStates(func(s statechart.StateInfo) {
+		addAction(s.Entry)
+		addAction(s.Exit)
+		addAction(s.During)
+	})
+	cc.WalkTransitions(func(t statechart.TransitionInfo) {
+		for _, r := range statechart.Refs(t.Guard, nil) {
+			relevant[r] = true
+		}
+		addAction(t.Action)
+	})
+	// Fixpoint: reads feeding a relevant target become relevant.
+	for changed := true; changed; {
+		changed = false
+		for _, a := range assigns {
+			if !relevant[a.target] {
+				continue
+			}
+			for _, r := range a.reads {
+				if !relevant[r] {
+					relevant[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return relevant
+}
+
+// key canonicalises the abstract state: active leaf, saturated active-path
+// counters, the relevant-variable valuation, and the obligation remaining.
+func key(m *statechart.Machine, obligation int64, cap int64, relevant map[string]bool) string {
+	var b strings.Builder
+	b.WriteString(m.ActiveState())
+	b.WriteByte('|')
+	for _, t := range m.ActiveTicks() {
+		if t > cap {
+			t = cap
+		}
+		fmt.Fprintf(&b, "%d,", t)
+	}
+	b.WriteByte('|')
+	vars := m.Vars()
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		if relevant[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d,", n, vars[n])
+	}
+	b.WriteByte('|')
+	for _, h := range m.HistoryLeaves() {
+		b.WriteString(h)
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "|%d", obligation)
+	return b.String()
+}
+
+func pathContains(m *statechart.Machine, state string) bool {
+	for _, s := range m.ActivePath() {
+		if s == state {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// enumerateSubsets returns all subsets of events (the empty subset
+// first). The chart compiler bounds events at 64, but model checking
+// needs far fewer; callers should keep charts small.
+func enumerateSubsets(events []string) [][]string {
+	n := len(events)
+	out := make([][]string, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var sub []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, events[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// enumerateInputs returns every combination of input-variable values.
+func enumerateInputs(vars []string, domains map[string][]int64) []map[string]int64 {
+	combos := []map[string]int64{{}}
+	for _, v := range vars {
+		dom := domains[v]
+		if len(dom) == 0 {
+			dom = []int64{0, 1}
+		}
+		var next []map[string]int64
+		for _, c := range combos {
+			for _, val := range dom {
+				m := make(map[string]int64, len(c)+1)
+				for k, x := range c {
+					m[k] = x
+				}
+				m[v] = val
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// InvariantProperty is a safety property: the predicate must hold in
+// every reachable configuration (AG pred). The predicate sees the active
+// leaf state name and the full valuation.
+type InvariantProperty struct {
+	Name string
+	// Holds returns true when the configuration is acceptable.
+	Holds func(state string, vars map[string]int64) bool
+	// Reads lists the variables the predicate depends on. The checker
+	// projects all other non-control-flow variables out of the abstract
+	// state (cone of influence), which keeps charts with free-running
+	// counters finite. Listing too few variables makes the check unsound;
+	// listing all of them is always safe but may not terminate within the
+	// state budget.
+	Reads []string
+}
+
+// CheckInvariant explores the chart's reachable configurations under
+// nondeterministic inputs and checks the invariant in each. The
+// exploration is exact up to the same counter saturation as
+// CheckResponse; all variables are kept in the abstract state because the
+// predicate may read any of them.
+func CheckInvariant(cc *statechart.Compiled, prop InvariantProperty, opt Options) (Result, error) {
+	if prop.Holds == nil {
+		return Result{}, fmt.Errorf("verify: invariant needs a predicate")
+	}
+	maxVisited := opt.MaxVisited
+	if maxVisited <= 0 {
+		maxVisited = 200000
+	}
+	cap := cc.MaxTemporalConst() + 1
+	events := cc.EventNames()
+	inputCombos := enumerateInputs(cc.VarNames(statechart.Input), opt.InputDomains)
+	eventSubsets := enumerateSubsets(events)
+	rel := relevantVars(cc, prop.Reads...)
+
+	res := Result{Property: ResponseProperty{Name: prop.Name}, Visited: 1}
+	m := statechart.NewMachine(cc)
+	if !prop.Holds(m.ActiveState(), m.Vars()) {
+		res.Outcome = Violated
+		return res, nil
+	}
+	root := &node{snap: m.Snapshot(), obligation: -1, leaf: m.ActiveState()}
+	visited := map[string]bool{key(m, -1, cap, rel): true}
+	frontier := []*node{root}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, evs := range eventSubsets {
+			for _, ins := range inputCombos {
+				m.Restore(cur.snap)
+				for name, v := range ins {
+					m.SetInput(name, v)
+				}
+				sr := m.Step(evs...)
+				if sr.Err != nil {
+					return res, fmt.Errorf("verify: model error during exploration: %w", sr.Err)
+				}
+				if !prop.Holds(m.ActiveState(), m.Vars()) {
+					child := &node{parent: cur, viaEvents: evs, viaInputs: ins, leaf: m.ActiveState()}
+					res.Outcome = Violated
+					res.Counterexample = rebuild(child)
+					return res, nil
+				}
+				k := key(m, -1, cap, rel)
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+				res.Visited++
+				if res.Visited >= maxVisited {
+					res.Outcome = Bounded
+					return res, nil
+				}
+				frontier = append(frontier, &node{
+					snap: m.Snapshot(), obligation: -1,
+					parent: cur, viaEvents: evs, viaInputs: ins, leaf: m.ActiveState(),
+				})
+			}
+		}
+	}
+	res.Outcome = Holds
+	return res, nil
+}
+
+// rebuild reconstructs the stimulus path from parent pointers; the root
+// node (parent == nil) carries no stimulus and is skipped.
+func rebuild(n *node) []CexStep {
+	var rev []*node
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	out := make([]CexStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, CexStep{Events: rev[i].viaEvents, Inputs: rev[i].viaInputs, State: rev[i].leaf})
+	}
+	return out
+}

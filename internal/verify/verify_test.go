@@ -1,0 +1,362 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rmtest/internal/gpca"
+	"rmtest/internal/statechart"
+)
+
+func compileGPCA(t *testing.T) *statechart.Compiled {
+	t.Helper()
+	cc, err := gpca.Chart().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+// req1Prop is REQ1 at model level: o_MotorState reaches >= 1 within 100
+// ticks of i_BolusReq in Idle.
+func req1Prop() ResponseProperty {
+	return ResponseProperty{
+		Name:        "REQ1-model",
+		Event:       "i_BolusReq",
+		InState:     "Idle",
+		Output:      "o_MotorState",
+		Target:      func(v int64) bool { return v >= 1 },
+		TargetDesc:  ">= 1",
+		WithinTicks: 100,
+	}
+}
+
+func TestREQ1HoldsOnModel(t *testing.T) {
+	res, err := CheckResponse(compileGPCA(t), req1Prop(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("REQ1 should hold on the model: %v", res)
+	}
+	if res.Visited < 10 {
+		t.Fatalf("suspiciously few states visited: %d", res.Visited)
+	}
+}
+
+func TestZeroTickDeadlineHoldsBecauseSuperStep(t *testing.T) {
+	// The model starts the bolus in the same tick (super-step), so even
+	// a 0-tick deadline holds.
+	p := req1Prop()
+	p.WithinTicks = 0
+	res, err := CheckResponse(compileGPCA(t), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("expected holds: %v", res)
+	}
+}
+
+func TestViolationFoundWithCounterexample(t *testing.T) {
+	// A model that delays the response behind after(5, E_CLK) violates a
+	// 3-tick deadline.
+	c := &statechart.Chart{
+		Name:       "slow",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"go"},
+		Vars:       []statechart.VarDecl{{Name: "out", Type: statechart.Int, Kind: statechart.Output}},
+		Initial:    "Idle",
+		States: []*statechart.State{
+			{Name: "Idle", Transitions: []statechart.Transition{{To: "Wait", Trigger: "go"}}},
+			{Name: "Wait", Transitions: []statechart.Transition{
+				{To: "Done", Trigger: "after(5, E_CLK)", Action: "out := 1"},
+			}},
+			{Name: "Done", Transitions: []statechart.Transition{{To: "Idle", Trigger: "go", Action: "out := 0"}}},
+		},
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := ResponseProperty{
+		Name: "fast-response", Event: "go", InState: "Idle",
+		Output: "out", Target: func(v int64) bool { return v == 1 },
+		WithinTicks: 3,
+	}
+	res, err := CheckResponse(cc, prop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Violated {
+		t.Fatalf("expected violation: %v", res)
+	}
+	if len(res.Counterexample) == 0 {
+		t.Fatal("missing counterexample")
+	}
+	// The counterexample must include the triggering event.
+	foundTrigger := false
+	for _, s := range res.Counterexample {
+		for _, e := range s.Events {
+			if e == "go" {
+				foundTrigger = true
+			}
+		}
+	}
+	if !foundTrigger {
+		t.Fatalf("counterexample lacks trigger: %+v", res.Counterexample)
+	}
+	// And it holds with a 5-tick deadline.
+	prop.WithinTicks = 5
+	res, err = CheckResponse(cc, prop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("expected holds at 5 ticks: %v", res)
+	}
+	// But violates again at 4.
+	prop.WithinTicks = 4
+	res, _ = CheckResponse(cc, prop, Options{})
+	if res.Outcome != Violated {
+		t.Fatalf("expected violation at 4 ticks: %v", res)
+	}
+}
+
+func TestGuardedResponseDependsOnInputDomain(t *testing.T) {
+	// Response only happens when enable==1; with the full {0,1} domain
+	// the property is violated, with domain {1} it holds.
+	c := &statechart.Chart{
+		Name:       "guarded",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"go"},
+		Vars: []statechart.VarDecl{
+			{Name: "enable", Type: statechart.Bool, Kind: statechart.Input},
+			{Name: "out", Type: statechart.Int, Kind: statechart.Output},
+		},
+		Initial: "Idle",
+		States: []*statechart.State{
+			{Name: "Idle", Transitions: []statechart.Transition{
+				{To: "Done", Trigger: "go", Guard: "enable == 1", Action: "out := 1"},
+			}},
+			{Name: "Done"},
+		},
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := ResponseProperty{
+		Name: "resp", Event: "go", InState: "Idle", Output: "out",
+		Target: func(v int64) bool { return v == 1 }, WithinTicks: 2,
+	}
+	res, err := CheckResponse(cc, prop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Violated {
+		t.Fatalf("with enable=0 possible, property must be violated: %v", res)
+	}
+	res, err = CheckResponse(cc, prop, Options{InputDomains: map[string][]int64{"enable": {1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("with enable pinned to 1, property must hold: %v", res)
+	}
+}
+
+func TestBoundedOutcomeOnTinyBudget(t *testing.T) {
+	res, err := CheckResponse(compileGPCA(t), req1Prop(), Options{MaxVisited: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Bounded {
+		t.Fatalf("expected bounded: %v", res)
+	}
+}
+
+func TestPropertyValidation(t *testing.T) {
+	cc := compileGPCA(t)
+	bad := []ResponseProperty{
+		{},
+		{Event: "i_Ghost", Output: "o_MotorState", Target: func(int64) bool { return true }},
+		{Event: "i_BolusReq", Output: "o_Ghost", Target: func(int64) bool { return true }},
+		{Event: "i_BolusReq", Output: "o_MotorState", Target: func(int64) bool { return true }, InState: "Nowhere"},
+		{Event: "i_BolusReq", Output: "o_MotorState", Target: func(int64) bool { return true }, WithinTicks: -1},
+	}
+	for i, p := range bad {
+		if _, err := CheckResponse(cc, p, Options{}); err == nil {
+			t.Errorf("property %d should be rejected", i)
+		}
+	}
+}
+
+func TestAlarmPropertyHolds(t *testing.T) {
+	// Model-level REQ2: buzzer within 0 ticks of i_EmptyAlarm from Idle.
+	prop := ResponseProperty{
+		Name: "REQ2-model", Event: "i_EmptyAlarm", InState: "Idle",
+		Output: "o_BuzzerState", Target: func(v int64) bool { return v == 1 },
+		WithinTicks: 0,
+	}
+	res, err := CheckResponse(compileGPCA(t), prop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("REQ2 should hold: %v", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := CheckResponse(compileGPCA(t), req1Prop(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "holds") {
+		t.Fatalf("string: %s", res.String())
+	}
+}
+
+func TestEnumerateHelpers(t *testing.T) {
+	subs := enumerateSubsets([]string{"a", "b"})
+	if len(subs) != 4 {
+		t.Fatalf("subsets=%v", subs)
+	}
+	ins := enumerateInputs([]string{"x", "y"}, map[string][]int64{"x": {0, 5, 9}})
+	if len(ins) != 6 { // 3 values for x times default {0,1} for y
+		t.Fatalf("inputs=%v", ins)
+	}
+}
+
+func TestInvariantHolds(t *testing.T) {
+	// Safety: the motor never runs while the chart is in EmptyAlarm.
+	res, err := CheckInvariant(compileGPCA(t), InvariantProperty{
+		Name: "no-motor-in-alarm", Reads: []string{"o_MotorState"},
+		Holds: func(state string, vars map[string]int64) bool {
+			return state != "EmptyAlarm" || vars["o_MotorState"] == 0
+		},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("invariant should hold: %v", res)
+	}
+}
+
+func TestInvariantViolationFound(t *testing.T) {
+	// A deliberately false invariant: the motor never runs at all.
+	res, err := CheckInvariant(compileGPCA(t), InvariantProperty{
+		Name: "motor-never-runs", Reads: []string{"o_MotorState"},
+		Holds: func(state string, vars map[string]int64) bool {
+			return vars["o_MotorState"] == 0
+		},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Violated {
+		t.Fatalf("expected violation: %v", res)
+	}
+	if len(res.Counterexample) == 0 {
+		t.Fatal("missing counterexample")
+	}
+	// The final step of the counterexample must be the bolus request.
+	last := res.Counterexample[len(res.Counterexample)-1]
+	found := false
+	for _, e := range last.Events {
+		if e == "i_BolusReq" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counterexample should end with the bolus request: %+v", last)
+	}
+}
+
+func TestInvariantValidation(t *testing.T) {
+	if _, err := CheckInvariant(compileGPCA(t), InvariantProperty{}, Options{}); err == nil {
+		t.Fatal("nil predicate should be rejected")
+	}
+}
+
+func TestInvariantBounded(t *testing.T) {
+	res, err := CheckInvariant(compileGPCA(t), InvariantProperty{
+		Name:  "x",
+		Holds: func(string, map[string]int64) bool { return true },
+	}, Options{MaxVisited: 5})
+	if err != nil || res.Outcome != Bounded {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestHierarchicalChartResponse(t *testing.T) {
+	// A hierarchical controller: the parent-level abort transition must
+	// respond from any child.
+	c := &statechart.Chart{
+		Name:       "hierv",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"go", "abort", "inner"},
+		Vars:       []statechart.VarDecl{{Name: "out", Type: statechart.Int, Kind: statechart.Output}},
+		Initial:    "Off",
+		States: []*statechart.State{
+			{Name: "Off", Transitions: []statechart.Transition{{To: "On", Trigger: "go"}}},
+			{
+				Name:    "On",
+				Initial: "A",
+				// Entering On resets the indicator, so every abort produces
+				// an observable o-event. (Without the reset the checker
+				// correctly finds a violation: a second abort writes 99
+				// over 99, which is no value change and hence no o-event.)
+				Entry: "out := 0",
+				Transitions: []statechart.Transition{
+					{To: "Off", Trigger: "abort", Action: "out := 99"},
+				},
+				Children: []*statechart.State{
+					{Name: "A", Transitions: []statechart.Transition{{To: "B", Trigger: "inner"}}},
+					{Name: "B", Transitions: []statechart.Transition{{To: "A", Trigger: "inner"}}},
+				},
+			},
+		},
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckResponse(cc, ResponseProperty{
+		Name: "abort-response", Event: "abort", InState: "On",
+		Output: "out", Target: func(v int64) bool { return v == 99 },
+		WithinTicks: 0,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Holds {
+		t.Fatalf("parent transition must respond from any child: %v", res)
+	}
+}
+
+func TestExtendedGPCABoundedGracefully(t *testing.T) {
+	// The extended chart has a 60000-tick counter; the checker must stay
+	// within its budget and report Bounded rather than hanging.
+	cc, err := gpca.ExtendedChart().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckResponse(cc, ResponseProperty{
+		Name: "bolus-in-basal", Event: "i_BolusReq", InState: "Basal",
+		Output: "o_MotorState", Target: func(v int64) bool { return v >= 10 },
+		WithinTicks: 10,
+	}, Options{MaxVisited: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == Violated {
+		t.Fatalf("no violation expected within the bounded exploration: %v", res)
+	}
+	if res.Visited > 3000 {
+		t.Fatalf("budget exceeded: %d", res.Visited)
+	}
+}

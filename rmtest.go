@@ -1,0 +1,360 @@
+// Package rmtest is a layered timing-conformance testing framework for
+// model-based implementations, reproducing Kim et al., "A Layered
+// Approach for Testing Timing in the Model-Based Implementation"
+// (DATE 2014).
+//
+// The framework covers the paper's whole flow:
+//
+//  1. Model a control system as a timed statechart (Chart) and verify its
+//     timing requirements at model level (VerifyResponse — the Simulink
+//     Design Verifier step).
+//  2. Generate code from the chart (Generate / EmitGo — the
+//     RealTimeWorkshop step). The generated program runs on a simulated
+//     platform: a FreeRTOS-like scheduler, sensors and actuators with
+//     device latencies, and a scripted physical environment.
+//  3. Integrate CODE(M) with the platform under one of the paper's three
+//     implementation schemes (Scheme1/2/3) and test the implemented
+//     system with the layered R-M flow: R-testing checks the (m, c)
+//     deadline and, on violation, M-testing measures the Input-,
+//     CODE(M)-, Output- and per-transition delay segments that compose
+//     the deviation (Runner.RunRM).
+//
+// The GPCA infusion pump case study, with the paper's REQ1 ("a bolus dose
+// shall be started within 100 ms"), ships in this package: see PumpConfig,
+// PumpREQ1, and the Table I / Fig. 3 experiment drivers in experiments.go.
+package rmtest
+
+import (
+	"io"
+
+	"rmtest/internal/baseline"
+	"rmtest/internal/codegen"
+	"rmtest/internal/core"
+	"rmtest/internal/coverage"
+	"rmtest/internal/env"
+	"rmtest/internal/fourvar"
+	"rmtest/internal/gpca"
+	"rmtest/internal/hw"
+	"rmtest/internal/platform"
+	"rmtest/internal/report"
+	"rmtest/internal/rta"
+	"rmtest/internal/rtos"
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+	"rmtest/internal/verify"
+)
+
+// Modelling layer.
+type (
+	// Chart is a timed statechart model (the Stateflow stand-in).
+	Chart = statechart.Chart
+	// State is one chart state.
+	State = statechart.State
+	// Transition is one chart transition.
+	Transition = statechart.Transition
+	// VarDecl declares a chart variable.
+	VarDecl = statechart.VarDecl
+	// Machine interprets a chart (the executable model reference).
+	Machine = statechart.Machine
+)
+
+// Chart variable kinds and types.
+const (
+	In    = statechart.Input
+	Out   = statechart.Output
+	Local = statechart.Local
+	Bool  = statechart.Bool
+	Int   = statechart.Int
+)
+
+// Verification layer (Design Verifier stand-in).
+type (
+	// ResponseProperty is a model-level timing requirement.
+	ResponseProperty = verify.ResponseProperty
+	// VerifyOptions bounds the exploration.
+	VerifyOptions = verify.Options
+	// VerifyResult is a verification verdict.
+	VerifyResult = verify.Result
+)
+
+// Verification outcomes.
+const (
+	Holds    = verify.Holds
+	Violated = verify.Violated
+	Bounded  = verify.Bounded
+)
+
+// Code-generation layer (RealTimeWorkshop stand-in).
+type (
+	// Program is the generated-code artifact (CODE(M)).
+	Program = codegen.Program
+	// CostModel maps generated-code structure to execution time.
+	CostModel = codegen.CostModel
+)
+
+// Platform layer.
+type (
+	// PlatformConfig assembles chart, board and bindings.
+	PlatformConfig = platform.Config
+	// System is one assembled implemented system.
+	System = platform.System
+	// Scheme integrates CODE(M) with the platform.
+	Scheme = platform.Scheme
+	// Scheme1Config is the single-threaded scheme.
+	Scheme1Config = platform.Scheme1
+	// Scheme2Config is the multi-threaded pipeline scheme.
+	Scheme2Config = platform.Scheme2
+	// Scheme3Config adds interference threads to Scheme2.
+	Scheme3Config = platform.Scheme3
+	// BoardConfig wires sensors and actuators to environment signals.
+	BoardConfig = hw.BoardConfig
+	// SensorConfig describes an input device.
+	SensorConfig = hw.SensorConfig
+	// ActuatorConfig describes an output device.
+	ActuatorConfig = hw.ActuatorConfig
+	// InputBinding routes a sensor to a chart event/variable.
+	InputBinding = platform.InputBinding
+	// OutputBinding routes a chart output to an actuator.
+	OutputBinding = platform.OutputBinding
+	// Environment is the scripted physical world.
+	Environment = env.Environment
+	// Scenario scripts environmental stimuli.
+	Scenario = env.Scenario
+	// RTOSConfig controls scheduler overheads.
+	RTOSConfig = rtos.Config
+)
+
+// Instrument selects the probe layer (R or M).
+type Instrument = platform.Instrument
+
+// Instrumentation levels of the layered approach.
+const (
+	RLevel = platform.RLevel
+	MLevel = platform.MLevel
+)
+
+// Testing layer (the paper's contribution).
+type (
+	// Requirement is a timing requirement over (m, c) event pairs.
+	Requirement = core.Requirement
+	// StimulusSpec shapes the physical stimulus.
+	StimulusSpec = core.StimulusSpec
+	// ResponseSpec identifies the expected response.
+	ResponseSpec = core.ResponseSpec
+	// TestCase is a deterministic stimulus schedule.
+	TestCase = core.TestCase
+	// Generator derives test cases from requirements.
+	Generator = core.Generator
+	// Runner executes R- and M-testing.
+	Runner = core.Runner
+	// RReport is an R-testing result.
+	RReport = core.RResult
+	// MReport is an M-testing result.
+	MReport = core.MResult
+	// Report is the layered R->M outcome.
+	Report = core.Report
+	// Finding is one diagnosis.
+	Finding = core.Finding
+	// SystemFactory builds fresh systems per test run.
+	SystemFactory = core.SystemFactory
+	// Segments is one matched m->i->o->c delay decomposition.
+	Segments = fourvar.Segments
+	// BaselineRule is a black-box conformance rule for the baseline
+	// monitor.
+	BaselineRule = baseline.Rule
+	// BaselineMonitor is the UPPAAL-Tron-style online checker.
+	BaselineMonitor = baseline.Monitor
+)
+
+// Verdicts.
+const (
+	Pass = core.Pass
+	Fail = core.Fail
+	Max  = core.Max
+)
+
+// Test-case generation strategies.
+const (
+	UniformSpacing  = core.UniformSpacing
+	JitteredSpacing = core.JitteredSpacing
+	PhaseSweep      = core.PhaseSweep
+)
+
+// Time is a virtual-time instant or span.
+type Time = sim.Time
+
+// VerifyResponse checks a model-level timing property on a chart.
+func VerifyResponse(c *Chart, prop ResponseProperty, opt VerifyOptions) (VerifyResult, error) {
+	cc, err := c.Compile()
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	return verify.CheckResponse(cc, prop, opt)
+}
+
+// Generate compiles a chart into its generated-code Program.
+func Generate(c *Chart) (*Program, error) {
+	cc, err := c.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return codegen.Generate(cc)
+}
+
+// EmitGo writes readable generated Go source for the chart.
+func EmitGo(w io.Writer, c *Chart, pkg string) error {
+	cc, err := c.Compile()
+	if err != nil {
+		return err
+	}
+	return codegen.EmitGo(w, cc, pkg)
+}
+
+// DefaultCostModel is the default generated-code execution-cost model.
+func DefaultCostModel() CostModel { return codegen.DefaultCostModel() }
+
+// NewSystem assembles an implemented system from a platform
+// configuration, a scheme and an instrumentation level.
+func NewSystem(cfg PlatformConfig, scheme Scheme, level platform.Instrument) (*System, error) {
+	return platform.NewSystem(cfg, scheme, level)
+}
+
+// NewRunner builds an R-M testing runner.
+func NewRunner(factory SystemFactory, req Requirement) (*Runner, error) {
+	return core.NewRunner(factory, req)
+}
+
+// NewBaselineMonitor builds the black-box comparison monitor.
+func NewBaselineMonitor(rules []BaselineRule) (*BaselineMonitor, error) {
+	return baseline.NewMonitor(rules)
+}
+
+// Scheme constructors with the paper's case-study parameters.
+func Scheme1() Scheme { return platform.DefaultScheme1() }
+
+// Scheme2 returns the multi-threaded pipeline scheme (20/40/20 ms).
+func Scheme2() Scheme { return platform.DefaultScheme2() }
+
+// Scheme3 returns Scheme2 plus the three interference threads.
+func Scheme3() Scheme { return platform.DefaultScheme3() }
+
+// GPCA case study re-exports.
+var (
+	// PumpChart returns the Fig. 2 infusion pump model.
+	PumpChart = gpca.Chart
+	// PumpExtendedChart returns the larger GPCA model.
+	PumpExtendedChart = gpca.ExtendedChart
+	// PumpConfig returns the full pump platform configuration.
+	PumpConfig = gpca.PlatformConfig
+	// PumpREQ1 is the paper's 100 ms bolus-start requirement.
+	PumpREQ1 = gpca.REQ1
+	// PumpREQ2 is the 250 ms empty-alarm requirement.
+	PumpREQ2 = gpca.REQ2
+	// PumpREQ3 is the 200 ms alarm-clear requirement.
+	PumpREQ3 = gpca.REQ3
+	// PumpFactory builds pump systems for a scheme constructor.
+	PumpFactory = gpca.Factory
+)
+
+// Equals matches event values equal to v.
+func Equals(v int64) core.ValuePred { return core.Equals(v) }
+
+// AtLeast matches event values of at least v.
+func AtLeast(v int64) core.ValuePred { return core.AtLeast(v) }
+
+// RenderTableI renders per-scheme reports as the paper's Table I.
+func RenderTableI(reports []Report) string { return report.TableI(reports) }
+
+// RenderCSV exports per-sample rows as CSV.
+func RenderCSV(reports []Report) string { return report.CSV(reports) }
+
+// RenderJSON exports per-scheme reports as indented JSON.
+func RenderJSON(reports []Report) ([]byte, error) { return report.JSON(reports) }
+
+// RenderDiagram renders a Fig. 3 style timing diagram of one sample.
+func RenderDiagram(seg Segments, width int) string { return report.Diagram(seg, width) }
+
+// RenderTransitions renders per-transition delays (Fig. 3-(d)).
+func RenderTransitions(m MReport, onlyViolations bool) string {
+	return report.TransitionTable(m, onlyViolations)
+}
+
+// RenderFindings renders diagnosis findings.
+func RenderFindings(fs []Finding) string { return report.Findings(fs) }
+
+// CoverageReport aggregates the test-adequacy dimensions of an executed
+// suite (the paper's future-work direction, implemented in
+// internal/coverage).
+type CoverageReport = coverage.Report
+
+// PhaseCoverage is the stimulus phase-space adequacy dimension.
+type PhaseCoverage = coverage.PhaseCoverage
+
+// MeasureCoverage computes transition, state, phase and boundary adequacy
+// for an executed M-testing run. phasePeriod is the platform period whose
+// stimulus alignment matters (typically the CODE(M) task period).
+func MeasureCoverage(m MReport, phasePeriod Time, bins int) CoverageReport {
+	return coverage.Measure(m.Program, m.TransTrace, m, phasePeriod, bins)
+}
+
+// SuggestStimuli proposes additional stimulus instants that target the
+// uncovered phase bins, systematically extending a test case.
+func SuggestStimuli(pc PhaseCoverage, after, spacing Time) []Time {
+	return coverage.Suggest(pc, after, spacing)
+}
+
+// SuggestScenarios explains how to reach each uncovered transition of the
+// generated code (which state to reach and which event or dwell fires it).
+func SuggestScenarios(m MReport, cov CoverageReport) []string {
+	return coverage.TransitionHints(m.Program, cov.Transitions)
+}
+
+// InvariantProperty is a model-level safety property (AG pred).
+type InvariantProperty = verify.InvariantProperty
+
+// VerifyInvariant checks a safety invariant on every reachable model
+// configuration.
+func VerifyInvariant(c *Chart, prop InvariantProperty, opt VerifyOptions) (VerifyResult, error) {
+	cc, err := c.Compile()
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	return verify.CheckInvariant(cc, prop, opt)
+}
+
+// ChartDOT renders a chart as a Graphviz digraph.
+func ChartDOT(c *Chart) (string, error) {
+	cc, err := c.Compile()
+	if err != nil {
+		return "", err
+	}
+	return cc.DOT(), nil
+}
+
+// RenderGantt renders a scheduler trace window as an ASCII Gantt chart.
+func RenderGantt(tr *rtos.Trace, from, to Time, width int) string {
+	return report.Gantt(tr, from, to, width)
+}
+
+// RenderTaskLoads renders per-task CPU consumption of a finished run.
+func RenderTaskLoads(s *rtos.Scheduler) string { return report.TaskLoads(s) }
+
+// WriteVCD dumps a four-variable trace as an IEEE 1364 Value Change Dump
+// for waveform viewers (GTKWave etc.).
+func WriteVCD(w io.Writer, tr *fourvar.Trace, comment string) error {
+	return report.VCD(w, tr, comment)
+}
+
+// Response-time analysis (analytic counterpart of R-testing).
+type (
+	// RTATask describes one periodic task for response-time analysis.
+	RTATask = rta.Task
+	// RTAResult is one task's analytic worst-case response time.
+	RTAResult = rta.Result
+)
+
+// AnalyzeTasks runs fixed-priority response-time analysis on a task set.
+func AnalyzeTasks(tasks []RTATask) ([]RTAResult, error) { return rta.Analyze(tasks) }
+
+// RenderRTA renders analysis results, highest priority first.
+func RenderRTA(results []RTAResult) string { return rta.String(results) }
