@@ -319,3 +319,22 @@ func BenchmarkModelVerificationInvariant(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLintGPCA measures the full static-analysis pass — compile,
+// chart-level checks, abstract interpretation of every fragment and the
+// WCET chain exploration — on the pump model.
+func BenchmarkLintGPCA(b *testing.B) {
+	chart := rmtest.PumpChart()
+	cost := rmtest.DefaultCostModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := rmtest.Lint(chart, cost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Findings) != 0 {
+			b.Fatalf("unexpected findings:\n%s", rep)
+		}
+	}
+}

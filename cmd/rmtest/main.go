@@ -5,6 +5,13 @@
 // Usage:
 //
 //	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m]
+//	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta]
+//
+// The lint subcommand runs the static-analysis layer on a shipped chart:
+// model-level findings (reachability, guard determinism, variable usage,
+// temporal sanity), bytecode-level checks (stack discipline, division by
+// zero) and static WCET bounds. It exits nonzero when any fatal finding
+// is present, so it can gate CI.
 package main
 
 import (
@@ -20,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		runLint(os.Args[2:])
+		return
+	}
 	reqName := flag.String("req", "REQ1", "requirement: REQ1, REQ2 or REQ3")
 	schemeNo := flag.Int("scheme", 3, "implementation scheme (1, 2 or 3)")
 	n := flag.Int("n", 10, "number of test samples")
@@ -172,6 +183,57 @@ func modelProp(req string) rmtest.ResponseProperty {
 			Output: "o_MotorState", Target: func(v int64) bool { return v >= 1 },
 			TargetDesc: ">= 1", WithinTicks: 100,
 		}
+	}
+}
+
+// runLint implements the lint subcommand.
+func runLint(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	chartName := fs.String("chart", "gpca", "chart to analyze: gpca, gpca-extended or railcrossing")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	withRTA := fs.Bool("rta", false, "also run response-time analysis from the static WCET bounds (scheme 2)")
+	fs.Parse(args)
+
+	var chart *rmtest.Chart
+	switch *chartName {
+	case "gpca":
+		chart = rmtest.PumpChart()
+	case "gpca-extended", "gpca-ext":
+		chart = rmtest.PumpExtendedChart()
+	case "railcrossing", "crossing":
+		chart = rmtest.CrossingChart()
+	default:
+		fail("unknown chart %q (want gpca, gpca-extended or railcrossing)", *chartName)
+	}
+	rep, err := rmtest.Lint(chart, rmtest.DefaultCostModel())
+	if err != nil {
+		fail("lint: %v", err)
+	}
+	if *asJSON {
+		out, err := rmtest.RenderLintJSON(rep)
+		if err != nil {
+			fail("lint: %v", err)
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		fmt.Print(rmtest.RenderLint(rep))
+	}
+	if *withRTA {
+		s2 := rmtest.Scheme2()
+		an, err := rmtest.AnalyzePipelineStatic(s2.(*rmtest.Scheme2Config), nil)
+		if err != nil {
+			fail("rta: %v", err)
+		}
+		fmt.Println("\n== response-time analysis from static WCETs (scheme 2) ==")
+		fmt.Print(rmtest.RenderRTA(an.Tasks))
+		if an.Bound >= 0 {
+			fmt.Printf("end-to-end m->c bound: %v\n", an.Bound)
+		} else {
+			fmt.Println("pipeline not schedulable")
+		}
+	}
+	if len(rep.Fatal()) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,9 +1,13 @@
 // Railcrossing applies the framework to a second domain: a railroad
 // crossing gate controller. When the approach sensor detects a train, the
 // gate must start lowering within 200 ms and the warning lights must
-// flash within 100 ms. The example verifies both at model level, then
-// R-M tests the implementation on a loaded platform and prints the
-// segment decomposition of any violation.
+// flash within 100 ms. The example lints the model, verifies both
+// requirements at model level, then R-M tests the implementation on a
+// loaded platform and prints the segment decomposition of any violation.
+//
+// The chart, board and requirement catalogue live in
+// internal/railcrossing (re-exported via the rmtest facade), shared with
+// the CLI and the test suite.
 package main
 
 import (
@@ -15,65 +19,19 @@ import (
 	"rmtest/internal/platform"
 )
 
-func crossingChart() *rmtest.Chart {
-	return &rmtest.Chart{
-		Name:       "crossing",
-		TickPeriod: time.Millisecond,
-		Events:     []string{"i_Approach", "i_Clear"},
-		Vars: []rmtest.VarDecl{
-			{Name: "o_Gate", Type: rmtest.Int, Kind: rmtest.Out}, // 0 up, 1 lowering, 2 down
-			{Name: "o_Lights", Type: rmtest.Bool, Kind: rmtest.Out},
-			{Name: "trains", Type: rmtest.Int, Kind: rmtest.Local},
-		},
-		Initial: "Open",
-		States: []*rmtest.State{
-			{Name: "Open", Transitions: []rmtest.Transition{
-				{To: "Lowering", Trigger: "i_Approach",
-					Action: "o_Lights := 1; o_Gate := 1; trains := trains + 1"},
-			}},
-			{Name: "Lowering", Transitions: []rmtest.Transition{
-				// The gate takes 3 s to reach the closed position.
-				{To: "Closed", Trigger: "after(3000, E_CLK)", Action: "o_Gate := 2"},
-			}},
-			{Name: "Closed", Transitions: []rmtest.Transition{
-				{To: "Raising", Trigger: "i_Clear", Action: "o_Gate := 1"},
-			}},
-			{Name: "Raising", Transitions: []rmtest.Transition{
-				{To: "Open", Trigger: "after(3000, E_CLK)",
-					Action: "o_Gate := 0; o_Lights := 0"},
-			}},
-		},
-	}
-}
-
-func crossingConfig() rmtest.PlatformConfig {
-	return rmtest.PlatformConfig{
-		Chart: crossingChart(),
-		Cost:  rmtest.DefaultCostModel(),
-		Board: rmtest.BoardConfig{
-			Name: "crossing-board",
-			Sensors: []rmtest.SensorConfig{
-				{Name: "approach", Signal: "sig_approach", SamplePeriod: 10 * time.Millisecond},
-				{Name: "clear", Signal: "sig_clear", SamplePeriod: 10 * time.Millisecond},
-			},
-			Actuators: []rmtest.ActuatorConfig{
-				{Name: "gate_motor", Signal: "sig_gate", Latency: 20 * time.Millisecond},
-				{Name: "lights", Signal: "sig_lights", Latency: 2 * time.Millisecond},
-			},
-		},
-		Inputs: []rmtest.InputBinding{
-			{Sensor: "approach", Event: "i_Approach"},
-			{Sensor: "clear", Event: "i_Clear"},
-		},
-		Outputs: []rmtest.OutputBinding{
-			{Var: "o_Gate", Actuator: "gate_motor"},
-			{Var: "o_Lights", Actuator: "lights"},
-		},
-	}
-}
-
 func main() {
-	chart := crossingChart()
+	chart := rmtest.CrossingChart()
+
+	// Static analysis of the model and its generated code.
+	lrep, err := rmtest.Lint(chart, rmtest.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rmtest.RenderLint(lrep))
+	if len(lrep.Fatal()) > 0 {
+		log.Fatal("chart has fatal lint findings; fix the model first")
+	}
+	fmt.Println()
 
 	// Model-level verification of both requirements.
 	for _, prop := range []rmtest.ResponseProperty{
@@ -94,21 +52,11 @@ func main() {
 	// Implementation-level R-M testing. A train passes every 12 s; the
 	// approach contact stays active for 800 ms. The platform carries an
 	// interfering diagnostics task, as crossings controllers often do.
-	gateReq := rmtest.Requirement{
-		ID:   "XING-1",
-		Text: "The gate shall start lowering within 200ms of train detection.",
-		Stimulus: rmtest.StimulusSpec{
-			Signal: "sig_approach", Value: 1, Rest: 0,
-			Width: 800 * time.Millisecond, Match: rmtest.Equals(1),
-		},
-		Response: rmtest.ResponseSpec{Signal: "sig_gate", Match: rmtest.AtLeast(1)},
-		Bound:    200 * time.Millisecond,
-		Timeout:  2 * time.Second,
-	}
+	gateReq := rmtest.CrossingRequirements()[0]
 	factory := func(level rmtest.Instrument) (*rmtest.System, error) {
 		s := platform.DefaultScheme3()
 		s.Interference[0].Burst = 40 * time.Millisecond // lighter than the pump study
-		return rmtest.NewSystem(crossingConfig(), s, level)
+		return rmtest.NewSystem(rmtest.CrossingConfig(), s, level)
 	}
 	runner, err := rmtest.NewRunner(factory, gateReq)
 	if err != nil {

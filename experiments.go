@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"rmtest/internal/codegen"
 	"rmtest/internal/core"
 	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
+	"rmtest/internal/lint"
 	"rmtest/internal/platform"
 	"rmtest/internal/rta"
 	"rmtest/internal/sim"
@@ -198,6 +200,37 @@ func AnalyzePipeline(s *platform.Scheme2, interference []platform.InterferenceTa
 		{Name: "codeM", Prio: s.CodePrio, Period: s.CodePeriod, WCET: codeWCET},
 		{Name: "actuate", Prio: s.ActPrio, Period: s.ActPeriod, WCET: actWCET},
 	}
+	return analyzePipelineTasks(s, tasks, interference)
+}
+
+// AnalyzePipelineStatic is AnalyzePipeline with every WCET derived from
+// static inputs alone: the CODE(M) task budget comes from the lint
+// layer's bytecode WCET bounds (lint.WCETReport.Invocation over the
+// CODE(M) period) and the device-handling budgets are summed from the
+// board configuration's per-device read/write costs. No measurement or
+// hand calibration feeds the analysis.
+func AnalyzePipelineStatic(s *platform.Scheme2, interference []platform.InterferenceTask) (SchemeAnalysis, error) {
+	rep, err := lint.Analyze(gpca.Chart(), codegen.DefaultCostModel())
+	if err != nil {
+		return SchemeAnalysis{}, err
+	}
+	board := gpca.Board()
+	var senseWCET, actWCET sim.Time
+	for _, sn := range board.Sensors {
+		senseWCET += sn.ReadCost
+	}
+	for _, ac := range board.Actuators {
+		actWCET += ac.WriteCost
+	}
+	tasks := []rta.Task{
+		{Name: "sense", Prio: s.SensePrio, Period: s.SensePeriod, WCET: senseWCET},
+		rep.WCET.Task("codeM", s.CodePrio, s.CodePeriod),
+		{Name: "actuate", Prio: s.ActPrio, Period: s.ActPeriod, WCET: actWCET},
+	}
+	return analyzePipelineTasks(s, tasks, interference)
+}
+
+func analyzePipelineTasks(s *platform.Scheme2, tasks []rta.Task, interference []platform.InterferenceTask) (SchemeAnalysis, error) {
 	for _, it := range interference {
 		tasks = append(tasks, rta.Task{Name: it.Name, Prio: it.Prio, Period: it.Period, WCET: it.Burst})
 	}

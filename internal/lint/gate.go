@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"rmtest/internal/codegen"
+	"rmtest/internal/statechart"
+)
+
+// RejectError is returned when a program fails the fatal-finding gate;
+// it carries the full report for rendering.
+type RejectError struct {
+	Report *Report
+}
+
+func (e *RejectError) Error() string {
+	fatal := e.Report.Fatal()
+	labels := make([]string, 0, len(fatal))
+	for _, f := range fatal {
+		labels = append(labels, f.Code+"("+f.Where+")")
+	}
+	return fmt.Sprintf("%d fatal lint finding(s): %s",
+		len(fatal), strings.Join(labels, ", "))
+}
+
+// Validator returns a codegen.GenerateOptions.Validate hook that analyses
+// the compiled program and rejects it when any fatal finding is present.
+func Validator(cost codegen.CostModel) func(*statechart.Compiled, *codegen.Program) error {
+	return func(cc *statechart.Compiled, p *codegen.Program) error {
+		rep := AnalyzeCompiled(cc.Chart(), cc, p, cost)
+		if fatal := rep.Fatal(); len(fatal) > 0 {
+			return &RejectError{Report: rep}
+		}
+		return nil
+	}
+}
+
+// GenerateChecked compiles the chart and rejects the program when static
+// analysis reports a fatal finding, returning a *RejectError (wrapped by
+// codegen) that carries the report.
+func GenerateChecked(cc *statechart.Compiled, cost codegen.CostModel) (*codegen.Program, error) {
+	return codegen.GenerateWith(cc, codegen.GenerateOptions{Validate: Validator(cost)})
+}

@@ -1,0 +1,451 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+
+	"rmtest/internal/codegen"
+)
+
+// interval is the abstract domain: a closed integer range [lo, hi].
+// Arithmetic saturates at the int64 extremes, which keeps every concrete
+// execution inside the abstract bounds (the extremes act as ±infinity).
+type interval struct{ lo, hi int64 }
+
+var topInterval = interval{math.MinInt64, math.MaxInt64}
+
+func (iv interval) contains(v int64) bool { return iv.lo <= v && v <= iv.hi }
+
+func (iv interval) isTop() bool { return iv.lo == math.MinInt64 && iv.hi == math.MaxInt64 }
+
+func (iv interval) join(o interval) interval {
+	return interval{minI(iv.lo, o.lo), maxI(iv.hi, o.hi)}
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd / satMul saturate instead of wrapping.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < a) || (a < 0 && b < 0 && s > a) {
+		if a > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+func satNeg(a int64) int64 {
+	if a == math.MinInt64 {
+		return math.MaxInt64
+	}
+	return -a
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return p
+}
+
+func addIv(l, r interval) interval { return interval{satAdd(l.lo, r.lo), satAdd(l.hi, r.hi)} }
+
+func negIv(x interval) interval { return interval{satNeg(x.hi), satNeg(x.lo)} }
+
+func mulIv(l, r interval) interval {
+	c := [4]int64{satMul(l.lo, r.lo), satMul(l.lo, r.hi), satMul(l.hi, r.lo), satMul(l.hi, r.hi)}
+	out := interval{c[0], c[0]}
+	for _, v := range c[1:] {
+		out.lo = minI(out.lo, v)
+		out.hi = maxI(out.hi, v)
+	}
+	return out
+}
+
+// cmpIv abstracts a comparison: 1 if it holds for every value pair, 0 if
+// for none, [0,1] otherwise.
+func cmpIv(alwaysTrue, alwaysFalse bool) interval {
+	switch {
+	case alwaysTrue:
+		return interval{1, 1}
+	case alwaysFalse:
+		return interval{0, 0}
+	default:
+		return interval{0, 1}
+	}
+}
+
+// boolIv normalises an interval to its truthiness: 0 absent -> [1,1],
+// only 0 -> [0,0], otherwise [0,1].
+func boolIv(x interval) interval {
+	switch {
+	case !x.contains(0):
+		return interval{1, 1}
+	case x.lo == 0 && x.hi == 0:
+		return interval{0, 0}
+	default:
+		return interval{0, 1}
+	}
+}
+
+// absState is the abstract machine state at one program counter: a stack
+// of intervals. Depth is concrete; values are abstract.
+type absState struct {
+	stack []interval
+}
+
+func (s absState) clone() absState {
+	return absState{stack: append([]interval(nil), s.stack...)}
+}
+
+// joinState merges two states at a control-flow join. ok is false when
+// the stack depths disagree (a stack-discipline fault).
+func joinState(a, b absState) (absState, bool) {
+	if len(a.stack) != len(b.stack) {
+		return absState{}, false
+	}
+	out := absState{stack: make([]interval, len(a.stack))}
+	for i := range a.stack {
+		out.stack[i] = a.stack[i].join(b.stack[i])
+	}
+	return out, true
+}
+
+// interpResult is the outcome of abstractly interpreting one fragment.
+type interpResult struct {
+	// value is the fragment's result interval (guards; [0,0] for actions).
+	value interval
+	// maxDepth is the deepest stack observed on any path.
+	maxDepth int
+	// divMayZero / divMustZero report reachable divisions or modulos
+	// whose abstract divisor may / must be zero.
+	divMayZero  bool
+	divMustZero bool
+	// faults are stack-discipline violations (underflow, join imbalance,
+	// bad jumps, unknown opcodes, wrong halt depth).
+	faults []string
+}
+
+// maxVisits bounds re-interpretation of one pc before widening to top;
+// compiled fragments are forward-jump DAGs (one visit per pc), the bound
+// only matters for hand-built looping bytecode.
+const maxVisits = 8
+
+// maxStackDepth is the sanity bound on abstract stack growth; the VM
+// grows its stack dynamically, so a depth this large means runaway
+// hand-built code rather than compiler output.
+const maxStackDepth = 1 << 10
+
+// interpret runs the interval abstract interpreter over one fragment.
+// It simultaneously verifies stack discipline (the bytecode-verification
+// half) and tracks value intervals (the division-safety and
+// guard-decidability half).
+func (a *analysis) interpret(ref codegen.CodeRef, kind fragKind) interpResult {
+	res := interpResult{value: interval{0, 0}}
+	if ref.Len == 0 {
+		return res
+	}
+	end := ref.PC + ref.Len
+	if ref.PC < 0 || end > len(a.prog.Code) {
+		res.faults = append(res.faults, fmt.Sprintf("code ref [%d,%d) outside pool of %d instructions", ref.PC, end, len(a.prog.Code)))
+		return res
+	}
+
+	states := make(map[int]absState)
+	visits := make(map[int]int)
+	states[ref.PC] = absState{}
+	work := []int{ref.PC}
+	var exit *absState
+	fault := func(format string, args ...any) {
+		res.faults = append(res.faults, fmt.Sprintf(format, args...))
+	}
+	// flow transfers st to pc, joining with any state already there.
+	flow := func(pc int, st absState, from int) {
+		if pc == end {
+			if exit == nil {
+				c := st.clone()
+				exit = &c
+			} else if j, ok := joinState(*exit, st); ok {
+				*exit = j
+			} else {
+				fault("stack depth mismatch at halt (pc %d)", from)
+			}
+			return
+		}
+		if pc < ref.PC || pc > end {
+			fault("jump from pc %d to %d escapes fragment [%d,%d)", from, pc, ref.PC, end)
+			return
+		}
+		old, seen := states[pc]
+		if !seen {
+			states[pc] = st.clone()
+			work = append(work, pc)
+			return
+		}
+		j, ok := joinState(old, st)
+		if !ok {
+			fault("stack depth mismatch joining at pc %d", pc)
+			return
+		}
+		if sameState(j, old) {
+			return // no change: fixpoint at this pc
+		}
+		visits[pc]++
+		if visits[pc] > maxVisits {
+			for i := range j.stack {
+				j.stack[i] = topInterval // widen: guarantee termination
+			}
+		}
+		if sameState(j, old) {
+			return
+		}
+		states[pc] = j
+		work = append(work, pc)
+	}
+
+	for len(work) > 0 && len(res.faults) == 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := states[pc].clone()
+		in := a.prog.Code[pc]
+		if len(st.stack) > res.maxDepth {
+			res.maxDepth = len(st.stack)
+		}
+		if len(st.stack) > maxStackDepth {
+			fault("stack depth exceeds %d at pc %d", maxStackDepth, pc)
+			break
+		}
+		pop := func() (interval, bool) {
+			if len(st.stack) == 0 {
+				fault("stack underflow at pc %d (%s)", pc, in.Op)
+				return interval{}, false
+			}
+			v := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			return v, true
+		}
+		push := func(v interval) { st.stack = append(st.stack, v) }
+		binary := func(f func(l, r interval) interval) bool {
+			r, ok := pop()
+			if !ok {
+				return false
+			}
+			l, ok := pop()
+			if !ok {
+				return false
+			}
+			push(f(l, r))
+			return true
+		}
+
+		switch in.Op {
+		case codegen.OpHalt:
+			flow(end, st, pc)
+			continue
+		case codegen.OpPush:
+			push(interval{in.A, in.A})
+		case codegen.OpLoad:
+			if in.A < 0 || int(in.A) >= len(a.prog.Vars) {
+				fault("load of bad slot %d at pc %d", in.A, pc)
+				continue
+			}
+			push(a.varInterval(int(in.A)))
+		case codegen.OpStore:
+			if in.A < 0 || int(in.A) >= len(a.prog.Vars) {
+				fault("store to bad slot %d at pc %d", in.A, pc)
+				continue
+			}
+			if _, ok := pop(); !ok {
+				continue
+			}
+		case codegen.OpAdd:
+			if !binary(addIv) {
+				continue
+			}
+		case codegen.OpSub:
+			if !binary(func(l, r interval) interval { return addIv(l, negIv(r)) }) {
+				continue
+			}
+		case codegen.OpMul:
+			if !binary(mulIv) {
+				continue
+			}
+		case codegen.OpDiv, codegen.OpMod:
+			r, ok := pop()
+			if !ok {
+				continue
+			}
+			if _, ok := pop(); !ok {
+				continue
+			}
+			if r.lo == 0 && r.hi == 0 {
+				res.divMustZero = true
+			} else if r.contains(0) {
+				res.divMayZero = true
+			}
+			// Division result bounds: |result| never exceeds |dividend|
+			// for div; for mod it is below |divisor|. Top keeps it sound
+			// without per-case precision.
+			push(topInterval)
+		case codegen.OpNeg:
+			if v, ok := pop(); ok {
+				push(negIv(v))
+			} else {
+				continue
+			}
+		case codegen.OpNot:
+			if v, ok := pop(); ok {
+				t := boolIv(v)
+				push(interval{1 - t.hi, 1 - t.lo})
+			} else {
+				continue
+			}
+		case codegen.OpEq:
+			if !binary(func(l, r interval) interval {
+				return cmpIv(l.lo == l.hi && r.lo == r.hi && l.lo == r.lo, l.hi < r.lo || r.hi < l.lo)
+			}) {
+				continue
+			}
+		case codegen.OpNe:
+			if !binary(func(l, r interval) interval {
+				return cmpIv(l.hi < r.lo || r.hi < l.lo, l.lo == l.hi && r.lo == r.hi && l.lo == r.lo)
+			}) {
+				continue
+			}
+		case codegen.OpLt:
+			if !binary(func(l, r interval) interval { return cmpIv(l.hi < r.lo, l.lo >= r.hi) }) {
+				continue
+			}
+		case codegen.OpLe:
+			if !binary(func(l, r interval) interval { return cmpIv(l.hi <= r.lo, l.lo > r.hi) }) {
+				continue
+			}
+		case codegen.OpGt:
+			if !binary(func(l, r interval) interval { return cmpIv(l.lo > r.hi, l.hi <= r.lo) }) {
+				continue
+			}
+		case codegen.OpGe:
+			if !binary(func(l, r interval) interval { return cmpIv(l.lo >= r.hi, l.hi < r.lo) }) {
+				continue
+			}
+		case codegen.OpAbs:
+			if v, ok := pop(); ok {
+				av := v
+				if av.lo < 0 {
+					n := negIv(interval{av.lo, minI(av.hi, 0)})
+					if av.hi < 0 {
+						av = n
+					} else {
+						av = interval{0, maxI(av.hi, n.hi)}
+					}
+				}
+				push(av)
+			} else {
+				continue
+			}
+		case codegen.OpMin:
+			if !binary(func(l, r interval) interval { return interval{minI(l.lo, r.lo), minI(l.hi, r.hi)} }) {
+				continue
+			}
+		case codegen.OpMax:
+			if !binary(func(l, r interval) interval { return interval{maxI(l.lo, r.lo), maxI(l.hi, r.hi)} }) {
+				continue
+			}
+		case codegen.OpJmp:
+			flow(int(in.A), st, pc)
+			continue
+		case codegen.OpJmpFalse, codegen.OpJmpTrue:
+			v, ok := pop()
+			if !ok {
+				continue
+			}
+			t := boolIv(v)
+			taken := (in.Op == codegen.OpJmpFalse && t.contains(0)) ||
+				(in.Op == codegen.OpJmpTrue && t.hi != 0)
+			fallthru := (in.Op == codegen.OpJmpFalse && t.hi != 0) ||
+				(in.Op == codegen.OpJmpTrue && t.contains(0))
+			if taken {
+				flow(int(in.A), st.clone(), pc)
+			}
+			if fallthru {
+				flow(pc+1, st, pc)
+			}
+			continue
+		case codegen.OpDup:
+			if len(st.stack) == 0 {
+				fault("stack underflow at pc %d (dup)", pc)
+				continue
+			}
+			push(st.stack[len(st.stack)-1])
+		case codegen.OpPop:
+			if _, ok := pop(); !ok {
+				continue
+			}
+		case codegen.OpBool:
+			if v, ok := pop(); ok {
+				push(boolIv(v))
+			} else {
+				continue
+			}
+		default:
+			fault("unknown opcode %v at pc %d", in.Op, pc)
+			continue
+		}
+		flow(pc+1, st, pc)
+	}
+
+	if len(res.faults) > 0 {
+		return res
+	}
+	if exit == nil {
+		res.faults = append(res.faults, "fragment never reaches its end")
+		return res
+	}
+	want := 0
+	if kind == fragGuard {
+		want = 1
+	}
+	if len(exit.stack) != want {
+		res.faults = append(res.faults,
+			fmt.Sprintf("fragment leaves %d values on the stack, want %d", len(exit.stack), want))
+		return res
+	}
+	if want == 1 {
+		res.value = exit.stack[0]
+	}
+	return res
+}
+
+// sameState reports structural equality of two abstract states.
+func sameState(a, b absState) bool {
+	if len(a.stack) != len(b.stack) {
+		return false
+	}
+	for i := range a.stack {
+		if a.stack[i] != b.stack[i] {
+			return false
+		}
+	}
+	return true
+}

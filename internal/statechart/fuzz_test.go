@@ -1,0 +1,88 @@
+package statechart
+
+import (
+	"testing"
+)
+
+// Seed corpus: every expression, action and trigger string the shipped
+// charts (GPCA, extended GPCA, railroad crossing) use, plus syntax
+// corners the parser has tripped on.
+var fuzzSeeds = []string{
+	// GPCA / extended GPCA.
+	"i_BolusReq",
+	"i_EmptyAlarm",
+	"before(100, E_CLK)",
+	"after(500, E_CLK)",
+	"after(60000, E_CLK)",
+	"at(4000, E_CLK)",
+	"o_MotorState := 0; o_BuzzerState := 1",
+	"o_MotorState := 1; bolus_count := bolus_count + 1",
+	"o_BuzzerState := 0",
+	"basal_rate > 0",
+	"o_MotorState := basal_rate",
+	// Railroad crossing.
+	"i_Approach",
+	"o_Lights := 1; o_Gate := 1; trains := trains + 1",
+	"o_Gate := 2",
+	"o_Gate := 0; o_Lights := 0",
+	"after(3000, E_CLK)",
+	// Syntax corners.
+	"",
+	"   ",
+	"!(a && b) || c != 0",
+	"min(abs(x - y), max(1, z))",
+	"1 + 2 * 3 - -4 / 5 % 6",
+	"x := (y)",
+	";",
+	"a := 1;",
+	"((((((((((1))))))))))",
+	"9223372036854775807",
+	"-9223372036854775808",
+	"after(x, E_CLK)",
+	"before(, E_CLK)",
+	"at(0)",
+	"a == b == c",
+	"a :=",
+	":= 1",
+	"a & b",
+	"\x00\xff",
+	"真 := 1",
+}
+
+// FuzzParse throws arbitrary input at all three parser entry points. The
+// parsers must never panic, and on success the resulting AST must survive
+// String, NodeCount, Refs and a re-parse of its rendering (expressions
+// print in a parseable form).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if e, err := ParseExpr(src); err == nil && e != nil {
+			if NodeCount(e) <= 0 {
+				t.Errorf("ParseExpr(%q): non-nil expr with NodeCount %d", src, NodeCount(e))
+			}
+			Refs(e, nil)
+			rendered := e.String()
+			if _, err := ParseExpr(rendered); err != nil {
+				t.Errorf("ParseExpr(%q): rendering %q does not re-parse: %v", src, rendered, err)
+			}
+		}
+		if a, err := ParseAction(src); err == nil {
+			for _, as := range a {
+				if as == nil || as.X == nil {
+					t.Errorf("ParseAction(%q): nil assignment", src)
+					continue
+				}
+				_ = as.String()
+			}
+		}
+		if tr, err := ParseTrigger(src); err == nil {
+			switch tr.Kind {
+			case TrigNone, TrigEvent, TrigAfter, TrigBefore, TrigAt:
+			default:
+				t.Errorf("ParseTrigger(%q): invalid kind %v", src, tr.Kind)
+			}
+		}
+	})
+}

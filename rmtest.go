@@ -35,7 +35,9 @@ import (
 	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
 	"rmtest/internal/hw"
+	"rmtest/internal/lint"
 	"rmtest/internal/platform"
+	"rmtest/internal/railcrossing"
 	"rmtest/internal/report"
 	"rmtest/internal/rta"
 	"rmtest/internal/rtos"
@@ -358,3 +360,57 @@ func AnalyzeTasks(tasks []RTATask) ([]RTAResult, error) { return rta.Analyze(tas
 
 // RenderRTA renders analysis results, highest priority first.
 func RenderRTA(results []RTAResult) string { return rta.String(results) }
+
+// Static-analysis layer (internal/lint).
+type (
+	// LintReport is the result of statically analyzing one chart: the
+	// findings plus the static WCET bounds.
+	LintReport = lint.Report
+	// LintFinding is one static-analysis diagnostic.
+	LintFinding = lint.Finding
+	// LintSeverity grades findings (LintInfo, LintWarn, LintFatal).
+	LintSeverity = lint.Severity
+	// StaticWCET is the static worst-case execution-time summary derived
+	// from the generated code and the cost model.
+	StaticWCET = lint.WCETReport
+)
+
+// Lint finding severities.
+const (
+	LintInfo  = lint.Info
+	LintWarn  = lint.Warn
+	LintFatal = lint.Fatal
+)
+
+// Lint statically analyses a chart and its generated code: reachability,
+// guard determinism, variable usage, temporal sanity, bytecode stack and
+// division checks, and static WCET bounds for every transition and step.
+func Lint(c *Chart, cost CostModel) (*LintReport, error) {
+	return lint.Analyze(c, cost)
+}
+
+// GenerateChecked compiles a chart into its Program and rejects it when
+// static analysis reports any fatal finding.
+func GenerateChecked(c *Chart, cost CostModel) (*Program, error) {
+	cc, err := c.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return lint.GenerateChecked(cc, cost)
+}
+
+// RenderLint renders a lint report as human text.
+func RenderLint(rep *LintReport) string { return report.LintText(rep) }
+
+// RenderLintJSON exports a lint report as indented JSON.
+func RenderLintJSON(rep *LintReport) ([]byte, error) { return report.LintJSON(rep) }
+
+// Railroad-crossing case study re-exports (the second worked example).
+var (
+	// CrossingChart returns the crossing-gate controller model.
+	CrossingChart = railcrossing.Chart
+	// CrossingConfig returns the full crossing platform configuration.
+	CrossingConfig = railcrossing.PlatformConfig
+	// CrossingRequirements returns the XING-1/XING-2 catalogue.
+	CrossingRequirements = railcrossing.Requirements
+)
