@@ -11,12 +11,15 @@ package rmtest_test
 // wall-clock cost of reproducing every result is measured directly.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"rmtest"
 	"rmtest/internal/codegen"
 	"rmtest/internal/core"
+	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
 	"rmtest/internal/platform"
 	"rmtest/internal/rtos"
@@ -190,7 +193,7 @@ func BenchmarkAblationPeriodSweep(b *testing.B) {
 	periods := []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := rmtest.AblationPeriodSweep(periods, 6, 5); err != nil {
+		if _, err := rmtest.AblationPeriodSweep(periods, 6, 5, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -286,7 +289,7 @@ func BenchmarkInstrumentationMLevel(b *testing.B) { benchInstrumentation(b, plat
 func BenchmarkRequirementsMatrix(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cells, err := rmtest.RequirementsMatrix(4, 42)
+		cells, err := rmtest.RequirementsMatrix(4, 42, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -336,5 +339,71 @@ func BenchmarkLintGPCA(b *testing.B) {
 		if len(rep.Findings) != 0 {
 			b.Fatalf("unexpected findings:\n%s", rep)
 		}
+	}
+}
+
+// --- Campaign engine -------------------------------------------------
+
+// BenchmarkCampaignTableI measures the full Table I regeneration through
+// the campaign engine at two worker-pool sizes. The workers=1 case is the
+// sequential baseline; the workers=GOMAXPROCS case shards the three
+// scheme columns across the pool. On a multi-core host the parallel case
+// approaches a 3x speedup (one worker per scheme); results are
+// byte-identical at every pool size (see
+// TestCampaignTableIMatchesSequentialGolden).
+func BenchmarkCampaignTableI(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reports, err := rmtest.TableIExperiment(rmtest.TableIOptions{
+					Samples: 10, Seed: 42, ForceM: true, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = reports
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignMatrix measures the 9-cell requirements matrix, the
+// widest fan-out in the repo (9 independent simulations).
+func BenchmarkCampaignMatrix(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rmtest.RequirementsMatrix(4, 42, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceFirstAt measures the indexed event-trace query that the
+// per-sample verdict loop leans on. The trace mimics a long soak run:
+// 100k events across four kinds, queried at random instants.
+func BenchmarkTraceFirstAt(b *testing.B) {
+	tr := fourvar.NewTrace()
+	r := sim.NewRand(1)
+	names := []string{"btn", "motor", "i_Btn", "o_Motor"}
+	var at sim.Time
+	for i := 0; i < 100_000; i++ {
+		at += sim.Time(r.Intn(5)) * time.Millisecond
+		tr.Record(fourvar.Kind(r.Intn(4)), names[r.Intn(len(names))], int64(r.Intn(2)), at)
+	}
+	queries := make([]sim.Time, 1024)
+	for i := range queries {
+		queries[i] = sim.Time(r.Intn(int(at/time.Millisecond))) * time.Millisecond
+	}
+	on := func(v int64) bool { return v == 1 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		tr.FirstAt(fourvar.Controlled, "motor", q, on)
 	}
 }

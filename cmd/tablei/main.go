@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions]
+//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress]
 package main
 
 import (
@@ -23,11 +23,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of the formatted table")
 	trans := flag.Bool("transitions", false, "also print per-transition delays")
 	matrix := flag.Bool("matrix", false, "also print the requirement x scheme conformance matrix")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	progress := flag.Bool("progress", false, "report campaign progress and throughput on stderr")
 	flag.Parse()
 
-	reports, err := rmtest.TableIExperiment(rmtest.TableIOptions{
-		Samples: *n, Seed: *seed, ForceM: *forceM,
-	})
+	opt := rmtest.TableIOptions{
+		Samples: *n, Seed: *seed, ForceM: *forceM, Workers: *workers,
+	}
+	if *progress {
+		opt.Progress = func(p rmtest.CampaignProgress) {
+			fmt.Fprintln(os.Stderr, "tablei:", p)
+		}
+	}
+	reports, err := rmtest.TableIExperiment(opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablei:", err)
 		os.Exit(1)
@@ -47,7 +55,7 @@ func main() {
 	}
 	fmt.Print(rmtest.RenderTableI(reports))
 	if *matrix {
-		cells, err := rmtest.RequirementsMatrix(*n, *seed)
+		cells, err := rmtest.RequirementsMatrix(*n, *seed, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tablei:", err)
 			os.Exit(1)

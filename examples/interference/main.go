@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rmtest"
+	"rmtest/internal/campaign"
 	"rmtest/internal/core"
 	"rmtest/internal/gpca"
 	"rmtest/internal/platform"
@@ -23,7 +24,7 @@ func main() {
 	for i := range periods {
 		periods[i] *= time.Millisecond
 	}
-	points, err := rmtest.AblationPeriodSweep(periods, 8, 7)
+	points, err := rmtest.AblationPeriodSweep(periods, 8, 7, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,35 +45,47 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-12s %-6s %-6s %-6s\n", "burst", "pass", "fail", "MAX")
-	for _, burst := range []time.Duration{0, 20, 40, 60, 80, 100} {
-		b := burst * time.Millisecond / time.Duration(1)
-		_ = b
-		burstDur := burst * time.Millisecond
-		factory := func(level rmtest.Instrument) (*rmtest.System, error) {
-			s := platform.DefaultScheme3()
-			s.Interference[0].Burst = burstDur
-			return platform.NewSystem(gpca.PlatformConfig(), s, level)
-		}
-		runner, err := rmtest.NewRunner(factory, req)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := runner.RunR(tc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var pass, fail, max int
-		for _, s := range res.Samples {
-			switch s.Verdict {
-			case core.Pass:
-				pass++
-			case core.Fail:
-				fail++
-			case core.Max:
-				max++
+	// Each burst point is an independent deterministic simulation: shard
+	// them across the campaign engine and print in sweep order.
+	bursts := []time.Duration{0, 20, 40, 60, 80, 100}
+	type burstPoint struct {
+		burst           time.Duration
+		pass, fail, max int
+	}
+	rows, err := campaign.Values(campaign.Map(campaign.Config{Seed: 7}, len(bursts),
+		func(run campaign.Run) (burstPoint, error) {
+			burstDur := bursts[run.Index] * time.Millisecond
+			factory := func(level rmtest.Instrument) (*rmtest.System, error) {
+				s := platform.DefaultScheme3()
+				s.Interference[0].Burst = burstDur
+				return platform.NewSystem(gpca.PlatformConfig(), s, level)
 			}
-		}
-		fmt.Printf("%-12v %-6d %-6d %-6d\n", burstDur, pass, fail, max)
+			runner, err := rmtest.NewRunner(factory, req)
+			if err != nil {
+				return burstPoint{}, err
+			}
+			res, err := runner.RunR(tc)
+			if err != nil {
+				return burstPoint{}, err
+			}
+			row := burstPoint{burst: burstDur}
+			for _, s := range res.Samples {
+				switch s.Verdict {
+				case core.Pass:
+					row.pass++
+				case core.Fail:
+					row.fail++
+				case core.Max:
+					row.max++
+				}
+			}
+			return row, nil
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("%-12v %-6d %-6d %-6d\n", row.burst, row.pass, row.fail, row.max)
 	}
 
 	fmt.Println("\nA1: diagnostic information — baseline black-box monitor vs layered R-M")

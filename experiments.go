@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rmtest/internal/campaign"
 	"rmtest/internal/codegen"
 	"rmtest/internal/core"
 	"rmtest/internal/fourvar"
@@ -24,12 +25,21 @@ type TableIOptions struct {
 	// ForceM runs M-testing even for schemes whose R-testing passes, so
 	// the table can show segments for every scheme.
 	ForceM bool
+	// Workers bounds the campaign worker pool; 0 means GOMAXPROCS. Any
+	// value produces byte-identical reports (the campaign engine's
+	// determinism contract).
+	Workers int
+	// Progress, when set, receives a snapshot after every completed run.
+	Progress func(campaign.Progress)
 }
 
 // TableIExperiment reproduces the paper's Table I: the bolus-request
 // scenario of REQ1 executed on the three implementation schemes, with
 // R-testing delays for every sample and M-testing delay segments for the
-// violating ones.
+// violating ones. The per-scheme runs are independent deterministic
+// simulations, so they execute on the campaign engine: R-testing for all
+// schemes in parallel, then M-testing for the violating (or forced)
+// schemes in parallel, reproducing Runner.RunRM's layered flow.
 func TableIExperiment(opt TableIOptions) ([]Report, error) {
 	if opt.Samples <= 0 {
 		opt.Samples = 10
@@ -52,19 +62,41 @@ func TableIExperiment(opt TableIOptions) ([]Report, error) {
 		func() platform.Scheme { return platform.DefaultScheme2() },
 		func() platform.Scheme { return platform.DefaultScheme3() },
 	}
-	var out []Report
-	for _, mk := range schemes {
-		runner, err := core.NewRunner(gpca.Factory(mk), req)
+	cfg := campaign.Config{Workers: opt.Workers, Seed: opt.Seed, OnProgress: opt.Progress}
+	rres, err := campaign.Values(campaign.Map(cfg, len(schemes), func(run campaign.Run) (core.RResult, error) {
+		runner, err := core.NewRunner(gpca.Factory(schemes[run.Index]), req)
 		if err != nil {
-			return nil, err
+			return core.RResult{}, err
 		}
-		rep, err := runner.RunRM(tc, opt.ForceM)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rep)
+		return runner.RunR(tc)
+	}))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	reports := make([]Report, len(schemes))
+	var needM []int
+	for i, rr := range rres {
+		reports[i] = Report{R: rr}
+		if opt.ForceM || !rr.Passed() {
+			needM = append(needM, i)
+		}
+	}
+	mres, err := campaign.Values(campaign.Map(cfg, len(needM), func(run campaign.Run) (core.MResult, error) {
+		runner, err := core.NewRunner(gpca.Factory(schemes[needM[run.Index]]), req)
+		if err != nil {
+			return core.MResult{}, err
+		}
+		return runner.RunM(tc)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range needM {
+		m := mres[k]
+		reports[i].M = &m
+		reports[i].Diagnosis = core.Diagnose(m)
+	}
+	return reports, nil
 }
 
 // Fig3Experiment reproduces the layered view of Fig. 3 for one bolus
@@ -82,7 +114,7 @@ func Fig3Experiment(scheme Scheme) (Segments, error) {
 		MName: gpca.SigBolusButton, MPred: func(v int64) bool { return v == 1 },
 		IName: "i_BolusReq",
 		OName: "o_MotorState", OPred: func(v int64) bool { return v >= 1 },
-		CName: gpca.SigPumpMotor,
+		CName: gpca.SigPumpMotor, CPred: func(v int64) bool { return v >= 1 },
 	}
 	seg, ok := fourvar.Match(sys.Trace, sys.TransTrace, spec, 0)
 	if !ok {
@@ -278,7 +310,11 @@ func (c MatrixCell) Conforms() bool { return c.Fail == 0 && c.Max == 0 }
 // implementation scheme — the extended evaluation beyond the paper's
 // single-requirement Table I. REQ3 needs an active alarm, so its runner
 // scripts the empty-reservoir condition before each clear-button press.
-func RequirementsMatrix(samples int, seed uint64) ([]MatrixCell, error) {
+// Every (requirement, scheme) cell is an independent deterministic
+// simulation, so the cells execute in parallel on the campaign engine
+// (workers 0 means GOMAXPROCS), in the same row-major order the
+// sequential loops produced.
+func RequirementsMatrix(samples int, seed uint64, workers int) ([]MatrixCell, error) {
 	if samples <= 0 {
 		samples = 5
 	}
@@ -287,70 +323,78 @@ func RequirementsMatrix(samples int, seed uint64) ([]MatrixCell, error) {
 		func() platform.Scheme { return platform.DefaultScheme2() },
 		func() platform.Scheme { return platform.DefaultScheme3() },
 	}
-	var out []MatrixCell
+	type cellUnit struct {
+		req core.Requirement
+		mk  func() platform.Scheme
+	}
+	var units []cellUnit
 	for _, req := range []core.Requirement{gpca.REQ1(), gpca.REQ2(), gpca.REQ3()} {
 		for _, mk := range schemes {
-			runner, err := core.NewRunner(gpca.Factory(mk), req)
-			if err != nil {
-				return nil, err
-			}
-			tc := core.TestCase{Name: req.ID}
-			switch req.ID {
-			case "REQ2":
-				// The empty condition is a persistent level; one sample.
-				tc.Stimuli = []sim.Time{100 * time.Millisecond}
-			case "REQ3":
-				// Alarm, then clear; alternate so each clear sees a fresh
-				// alarm. The stimulus signal is the clear button.
-				gen := core.Generator{
-					N: samples, Start: 500 * time.Millisecond,
-					Spacing:  2 * time.Second,
-					Strategy: core.JitteredSpacing, Jitter: 100 * time.Millisecond,
-					Seed: seed,
-				}
-				tc, err = gen.Generate(req)
-				if err != nil {
-					return nil, err
-				}
-				runner.Prepare = func(sys *platform.System, tcase core.TestCase) {
-					for _, at := range tcase.Stimuli {
-						// Raise the empty alarm 300 ms before each clear
-						// and drop the condition after, so the next cycle
-						// re-alarms.
-						sys.Env.PulseAt(at-300*time.Millisecond, gpca.SigReservoirEmpty, 1, 0, 600*time.Millisecond)
-					}
-				}
-			default:
-				gen := core.Generator{
-					N: samples, Start: 50 * time.Millisecond,
-					Spacing:  4500 * time.Millisecond,
-					Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
-					Seed: seed,
-				}
-				tc, err = gen.Generate(req)
-				if err != nil {
-					return nil, err
-				}
-			}
-			res, err := runner.RunR(tc)
-			if err != nil {
-				return nil, err
-			}
-			cell := MatrixCell{Requirement: req.ID, Scheme: res.Scheme}
-			for _, s := range res.Samples {
-				switch s.Verdict {
-				case core.Pass:
-					cell.Pass++
-				case core.Fail:
-					cell.Fail++
-				case core.Max:
-					cell.Max++
-				}
-			}
-			out = append(out, cell)
+			units = append(units, cellUnit{req: req, mk: mk})
 		}
 	}
-	return out, nil
+	cfg := campaign.Config{Workers: workers, Seed: seed}
+	return campaign.Values(campaign.Map(cfg, len(units), func(run campaign.Run) (MatrixCell, error) {
+		req, mk := units[run.Index].req, units[run.Index].mk
+		runner, err := core.NewRunner(gpca.Factory(mk), req)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		tc := core.TestCase{Name: req.ID}
+		switch req.ID {
+		case "REQ2":
+			// The empty condition is a persistent level; one sample.
+			tc.Stimuli = []sim.Time{100 * time.Millisecond}
+		case "REQ3":
+			// Alarm, then clear; alternate so each clear sees a fresh
+			// alarm. The stimulus signal is the clear button.
+			gen := core.Generator{
+				N: samples, Start: 500 * time.Millisecond,
+				Spacing:  2 * time.Second,
+				Strategy: core.JitteredSpacing, Jitter: 100 * time.Millisecond,
+				Seed: seed,
+			}
+			tc, err = gen.Generate(req)
+			if err != nil {
+				return MatrixCell{}, err
+			}
+			runner.Prepare = func(sys *platform.System, tcase core.TestCase) {
+				for _, at := range tcase.Stimuli {
+					// Raise the empty alarm 300 ms before each clear
+					// and drop the condition after, so the next cycle
+					// re-alarms.
+					sys.Env.PulseAt(at-300*time.Millisecond, gpca.SigReservoirEmpty, 1, 0, 600*time.Millisecond)
+				}
+			}
+		default:
+			gen := core.Generator{
+				N: samples, Start: 50 * time.Millisecond,
+				Spacing:  4500 * time.Millisecond,
+				Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
+				Seed: seed,
+			}
+			tc, err = gen.Generate(req)
+			if err != nil {
+				return MatrixCell{}, err
+			}
+		}
+		res, err := runner.RunR(tc)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		cell := MatrixCell{Requirement: req.ID, Scheme: res.Scheme}
+		for _, s := range res.Samples {
+			switch s.Verdict {
+			case core.Pass:
+				cell.Pass++
+			case core.Fail:
+				cell.Fail++
+			case core.Max:
+				cell.Max++
+			}
+		}
+		return cell, nil
+	}))
 }
 
 // SweepPoint is one configuration of the A2 sensitivity ablation.
@@ -369,8 +413,9 @@ type SweepPoint struct {
 // function of the CODE(M) task period on the scheme-2 pipeline. It shows
 // the code-delay segment scaling with the period while input and output
 // segments stay put — the kind of design exploration the measured
-// segments enable.
-func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64) ([]SweepPoint, error) {
+// segments enable. Sweep points are independent configurations, so they
+// execute in parallel on the campaign engine (workers 0 means GOMAXPROCS).
+func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64, workers int) ([]SweepPoint, error) {
 	req := gpca.REQ1()
 	gen := core.Generator{
 		N: samples, Start: 50 * time.Millisecond,
@@ -381,9 +426,9 @@ func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64) ([]SweepP
 	if err != nil {
 		return nil, err
 	}
-	var out []SweepPoint
-	for _, p := range periods {
-		period := p
+	cfg := campaign.Config{Workers: workers, Seed: seed}
+	return campaign.Values(campaign.Map(cfg, len(periods), func(run campaign.Run) (SweepPoint, error) {
+		period := periods[run.Index]
 		factory := func(level platform.Instrument) (*platform.System, error) {
 			s := platform.DefaultScheme2()
 			s.CodePeriod = period
@@ -391,11 +436,11 @@ func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64) ([]SweepP
 		}
 		runner, err := core.NewRunner(factory, req)
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
 		mres, err := runner.RunM(tc)
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
 		agg := core.NewSegmentStats(mres)
 		pass := 0
@@ -404,7 +449,7 @@ func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64) ([]SweepP
 				pass++
 			}
 		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			Label:      fmt.Sprintf("code=%v", period),
 			CodePeriod: period,
 			MeanInput:  agg.Input.Mean,
@@ -412,7 +457,6 @@ func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64) ([]SweepP
 			MeanOutput: agg.Output.Mean,
 			MeanTotal:  agg.Total.Mean,
 			PassRate:   float64(pass) / float64(len(mres.Samples)),
-		})
-	}
-	return out, nil
+		}, nil
+	}))
 }

@@ -1,0 +1,224 @@
+// Package campaign is the deterministic parallel experiment engine: it
+// shards the fully independent runs of a testing campaign (samples x
+// schemes x requirements x sweep points) across a bounded worker pool
+// while guaranteeing that the collected results are bit-identical to a
+// sequential execution, regardless of the worker count.
+//
+// Determinism rests on three rules:
+//
+//  1. Every run is a pure function of its Run descriptor (index plus a
+//     derived seed). Workers share no mutable state.
+//  2. Per-run seeds are derived up front from the campaign seed by a
+//     splitmix64 stream (sim.Rand), in run order — so run k sees the same
+//     seed whether it executes first, last, or concurrently with others.
+//  3. Results are collected into a slot-per-run slice, so output order is
+//     run order, never completion order.
+//
+// A run that panics is isolated: the panic is recovered on the worker and
+// surfaced as that run's failed Outcome, leaving the other runs (and the
+// campaign) intact. Progress and throughput counters are maintained for
+// long campaigns.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"rmtest/internal/sim"
+)
+
+// Run identifies one independent unit of work within a campaign.
+type Run struct {
+	// Index is the run's position in campaign order.
+	Index int
+	// Seed is the run's private random seed, derived from the campaign
+	// seed by a splitmix64 split. Two runs of the same campaign never
+	// share a seed; the same run always gets the same seed.
+	Seed uint64
+}
+
+// Outcome pairs one run with its result or failure.
+type Outcome[T any] struct {
+	Run
+	Value T
+	// Err is the run's error, or a synthesized error when the run
+	// panicked (panic isolation: one bad run never kills the campaign).
+	Err error
+}
+
+// Failed reports whether the run errored or panicked.
+func (o Outcome[T]) Failed() bool { return o.Err != nil }
+
+// Progress is a point-in-time snapshot of campaign execution.
+type Progress struct {
+	Total   int
+	Done    int
+	Failed  int
+	Elapsed time.Duration
+	// RunsPerSec is the observed throughput so far (host wall clock).
+	RunsPerSec float64
+}
+
+func (p Progress) String() string {
+	return fmt.Sprintf("%d/%d runs (%d failed) in %v, %.1f runs/s",
+		p.Done, p.Total, p.Failed, p.Elapsed.Round(time.Millisecond), p.RunsPerSec)
+}
+
+// Config parameterises campaign execution. The zero value runs with
+// GOMAXPROCS workers and campaign seed 0.
+type Config struct {
+	// Workers bounds the worker pool; 0 or negative means GOMAXPROCS.
+	// Workers=1 executes the runs inline in run order — the sequential
+	// reference the determinism tests compare the parallel path against.
+	Workers int
+	// Seed is the campaign seed every per-run seed derives from.
+	Seed uint64
+	// OnProgress, when set, is invoked after every completed run with a
+	// fresh snapshot. Invocations are serialised by the engine, so the
+	// callback needs no locking of its own.
+	OnProgress func(Progress)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Seeds derives n per-run seeds from a campaign seed. The derivation is a
+// splitmix64 stream, so it depends only on (campaign seed, n-prefix) —
+// never on scheduling.
+func Seeds(campaign uint64, n int) []uint64 {
+	r := sim.NewRand(campaign)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// Map executes fn once per run index in [0, n) on a pool of cfg.Workers
+// goroutines and returns the outcomes in run order. fn must be a pure
+// function of its Run (plus immutable captured inputs); under that
+// contract the returned slice is bit-identical for every worker count.
+func Map[T any](cfg Config, n int, fn func(Run) (T, error)) []Outcome[T] {
+	outs := make([]Outcome[T], n)
+	seeds := Seeds(cfg.Seed, n)
+	for i := range outs {
+		outs[i].Run = Run{Index: i, Seed: seeds[i]}
+	}
+	if n == 0 {
+		return outs
+	}
+	ctr := newCounters(n, cfg.OnProgress)
+	exec := func(i int) {
+		outs[i].Value, outs[i].Err = protect(fn, outs[i].Run)
+		ctr.finish(outs[i].Err != nil)
+	}
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			exec(i)
+		}
+		return outs
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				exec(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return outs
+}
+
+// protect invokes fn with panic isolation: a panicking run yields an
+// error carrying the panic value and stack instead of unwinding the
+// worker.
+func protect[T any](fn func(Run) (T, error), r Run) (val T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("campaign: run %d (seed %#x) panicked: %v\n%s", r.Index, r.Seed, p, debug.Stack())
+		}
+	}()
+	return fn(r)
+}
+
+// FirstErr returns the first failure in run order, or nil.
+func FirstErr[T any](outs []Outcome[T]) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// Values unwraps the outcome values in run order, or returns the first
+// failure.
+func Values[T any](outs []Outcome[T]) ([]T, error) {
+	if err := FirstErr(outs); err != nil {
+		return nil, err
+	}
+	vals := make([]T, len(outs))
+	for i, o := range outs {
+		vals[i] = o.Value
+	}
+	return vals, nil
+}
+
+// counters tracks progress across workers.
+type counters struct {
+	mu         sync.Mutex
+	total      int
+	done       int
+	failed     int
+	startedAt  time.Time
+	onProgress func(Progress)
+}
+
+func newCounters(total int, onProgress func(Progress)) *counters {
+	return &counters{total: total, startedAt: time.Now(), onProgress: onProgress}
+}
+
+// finish records one completed run and reports a snapshot.
+func (c *counters) finish(failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done++
+	if failed {
+		c.failed++
+	}
+	if c.onProgress != nil {
+		c.onProgress(c.snapshotLocked())
+	}
+}
+
+func (c *counters) snapshotLocked() Progress {
+	p := Progress{
+		Total:   c.total,
+		Done:    c.done,
+		Failed:  c.failed,
+		Elapsed: time.Since(c.startedAt),
+	}
+	if s := p.Elapsed.Seconds(); s > 0 {
+		p.RunsPerSec = float64(p.Done) / s
+	}
+	return p
+}

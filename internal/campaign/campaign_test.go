@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rmtest/internal/sim"
+)
+
+// mix is a deterministic stand-in for a simulation run: its result
+// depends only on the run descriptor, as the engine contract requires.
+func mix(r Run) (uint64, error) {
+	x := sim.NewRand(r.Seed ^ uint64(r.Index))
+	return x.Uint64(), nil
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 64
+	ref := Map(Config{Workers: 1, Seed: 99}, n, mix)
+	for _, w := range []int{2, 4, 8, 16, 0} {
+		got := Map(Config{Workers: w, Seed: 99}, n, mix)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d outcomes", w, len(got))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: outcome %d = %+v, sequential %+v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSeedsSplitFromCampaignSeed(t *testing.T) {
+	a := Seeds(7, 16)
+	b := Seeds(7, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seed derivation not deterministic")
+		}
+	}
+	// A longer campaign shares the prefix: run k's seed does not depend
+	// on the campaign size.
+	long := Seeds(7, 32)
+	for i := range a {
+		if long[i] != a[i] {
+			t.Fatal("per-run seed depends on campaign size")
+		}
+	}
+	// Distinct campaign seeds give distinct streams, and runs of one
+	// campaign get pairwise distinct seeds.
+	other := Seeds(8, 16)
+	if other[0] == a[0] {
+		t.Fatal("different campaign seeds should diverge")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate per-run seed")
+		}
+		seen[s] = true
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	outs := Map(Config{Workers: 8, Seed: 1}, 40, func(r Run) (int, error) {
+		return r.Index * 3, nil
+	})
+	for i, o := range outs {
+		if o.Index != i || o.Value != i*3 {
+			t.Fatalf("slot %d holds run %d value %d", i, o.Index, o.Value)
+		}
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	outs := Map(Config{Workers: 4, Seed: 3}, 10, func(r Run) (int, error) {
+		if r.Index == 5 {
+			panic("boom")
+		}
+		return r.Index, nil
+	})
+	for i, o := range outs {
+		if i == 5 {
+			if o.Err == nil || !strings.Contains(o.Err.Error(), "boom") || !o.Failed() {
+				t.Fatalf("run 5 should surface its panic: %+v", o)
+			}
+			continue
+		}
+		if o.Err != nil || o.Value != i {
+			t.Fatalf("run %d should be unaffected: %+v", i, o)
+		}
+	}
+	if err := FirstErr(outs); err == nil || !strings.Contains(err.Error(), "run 5") {
+		t.Fatalf("FirstErr = %v", err)
+	}
+	if _, err := Values(outs); err == nil {
+		t.Fatal("Values should refuse a failed campaign")
+	}
+}
+
+func TestMapErrorsDoNotAbortCampaign(t *testing.T) {
+	outs := Map(Config{Workers: 2, Seed: 3}, 6, func(r Run) (int, error) {
+		if r.Index%2 == 1 {
+			return 0, fmt.Errorf("odd run %d", r.Index)
+		}
+		return r.Index, nil
+	})
+	var failed int
+	for _, o := range outs {
+		if o.Failed() {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("failed=%d", failed)
+	}
+}
+
+func TestValuesUnwrapsInOrder(t *testing.T) {
+	outs := Map(Config{Workers: 4, Seed: 0}, 12, func(r Run) (string, error) {
+		return fmt.Sprintf("r%d", r.Index), nil
+	})
+	vals, err := Values(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != fmt.Sprintf("r%d", i) {
+			t.Fatalf("vals[%d]=%q", i, v)
+		}
+	}
+}
+
+func TestProgressCounters(t *testing.T) {
+	var calls atomic.Int64
+	var last Progress
+	outs := Map(Config{Workers: 1, Seed: 5, OnProgress: func(p Progress) {
+		calls.Add(1)
+		last = p
+	}}, 7, func(r Run) (int, error) {
+		if r.Index == 2 {
+			return 0, fmt.Errorf("fail")
+		}
+		return 0, nil
+	})
+	_ = outs
+	if calls.Load() != 7 {
+		t.Fatalf("progress calls=%d", calls.Load())
+	}
+	if last.Done != 7 || last.Failed != 1 || last.Total != 7 {
+		t.Fatalf("final progress %+v", last)
+	}
+	if last.RunsPerSec < 0 {
+		t.Fatalf("throughput %v", last.RunsPerSec)
+	}
+	if !strings.Contains(last.String(), "7/7 runs (1 failed)") {
+		t.Fatalf("progress string: %s", last)
+	}
+}
+
+func TestProgressSerialisedUnderParallelism(t *testing.T) {
+	// The engine serialises OnProgress, so an unguarded counter must end
+	// exactly at n even with many workers (run under -race in CI).
+	count := 0
+	Map(Config{Workers: 8, Seed: 5, OnProgress: func(Progress) {
+		count++
+	}}, 100, func(r Run) (int, error) { return 0, nil })
+	if count != 100 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if outs := Map(Config{}, 0, mix); len(outs) != 0 {
+		t.Fatal("n=0 should yield no outcomes")
+	}
+	// More workers than runs.
+	outs := Map(Config{Workers: 64, Seed: 2}, 3, mix)
+	ref := Map(Config{Workers: 1, Seed: 2}, 3, mix)
+	for i := range outs {
+		if outs[i] != ref[i] {
+			t.Fatal("oversized pool changed results")
+		}
+	}
+}

@@ -487,3 +487,103 @@ func TestPhaseSweepEndToEnd(t *testing.T) {
 		t.Fatalf("phase sweep should produce varied delays: %v", delays)
 	}
 }
+
+// Regression (issue 2, satellites 1+3): a stimulus that lands just before
+// the previous stimulus' response must not be credited with that response.
+// Before the fix, evaluate searched the c-stream by time alone, so the
+// response to stimulus A could satisfy both A and a stimulus B pressed
+// 100 microseconds before it arrived — inflating Pass counts exactly when
+// the system is most stressed. The consuming search (each c-event credits
+// one stimulus) and the deadline bound together force B to MAX.
+func TestCloselySpacedStimuliNotDoubleCredited(t *testing.T) {
+	req := gpca.REQ1()
+	// A scheme-3 pipeline whose high-priority interference burst swallows
+	// the whole press: the response then arrives after the button is
+	// released, so a second press can land between release and response.
+	factory := gpca.Factory(func() platform.Scheme {
+		s := platform.DefaultScheme3()
+		s.Interference = []platform.InterferenceTask{
+			{Name: "netdrv", Prio: 4, Period: 500 * ms, Burst: 100 * ms},
+		}
+		return s
+	})
+	runner, err := core.NewRunner(factory, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe run: find when this pipeline actually answers a lone 50 ms press.
+	probe, err := runner.RunR(core.TestCase{Name: "probe", Stimuli: []sim.Time{50 * ms}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Samples) != 1 || !probe.Samples[0].CObserved {
+		t.Fatalf("probe sample lost: %v", probe.Samples)
+	}
+	cA := probe.Samples[0].CEvent.At
+	if cA <= 50*ms+gpca.ButtonPress {
+		// The scenario needs the response to arrive after press A is
+		// released, so press B creates a fresh rising edge.
+		t.Fatalf("pipeline answered during the press (c at %v); scenario assumptions broken", cA)
+	}
+
+	// Press B lands 100 microseconds before A's response; press C is far
+	// enough out for a fresh bolus cycle.
+	tc := core.TestCase{
+		Name:    "closely-spaced",
+		Stimuli: []sim.Time{50 * ms, cA - 100*time.Microsecond, 4600 * ms},
+	}
+	res, err := runner.RunR(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 3 {
+		t.Fatalf("samples=%d", len(res.Samples))
+	}
+	a, b, c := res.Samples[0], res.Samples[1], res.Samples[2]
+	if !a.CObserved || a.Verdict == core.Max {
+		t.Fatalf("sample A should be answered: %v", a)
+	}
+	if !b.MObserved {
+		t.Fatalf("press B should register as an m-event: %v", b)
+	}
+	// The heart of the regression: B must not be credited with A's
+	// response (pre-fix this was a 100 microsecond "Pass").
+	if b.Verdict != core.Max {
+		t.Fatalf("sample B stole sample A's response: %v", b)
+	}
+	if b.CObserved {
+		t.Fatalf("sample B has no response of its own: %v", b)
+	}
+	if !c.CObserved || c.Verdict == core.Max {
+		t.Fatalf("sample C should be answered on a fresh cycle: %v", c)
+	}
+	if a.CEvent.At == c.CEvent.At {
+		t.Fatal("samples A and C must be credited with distinct responses")
+	}
+
+	// M-level invariant: every matched chain explains exactly the c-event
+	// the R-verdict judged, and stays inside the requirement timeout.
+	mres, err := runner.RunM(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range mres.Samples {
+		if !s.SegmentsOK {
+			continue
+		}
+		if s.Segments.C != s.CEvent {
+			t.Fatalf("sample %d: chain explains c@%v but verdict judged c@%v",
+				s.Index, s.Segments.C.At, s.CEvent.At)
+		}
+		if s.Segments.Total() > req.EffectiveTimeout() {
+			t.Fatalf("sample %d: chain total %v exceeds timeout", s.Index, s.Segments.Total())
+		}
+	}
+	if mres.Samples[1].SegmentsOK {
+		t.Fatalf("sample B must have no conformant chain: %+v", mres.Samples[1].Segments)
+	}
+	if !mres.Samples[0].SegmentsOK || !mres.Samples[2].SegmentsOK {
+		t.Fatalf("samples A and C should decompose: %v %v",
+			mres.Samples[0].SegmentsOK, mres.Samples[2].SegmentsOK)
+	}
+}

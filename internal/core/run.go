@@ -132,6 +132,11 @@ func (r *Runner) applyStimuli(sys *platform.System, tc TestCase) {
 func (r *Runner) evaluate(sys *platform.System, tc TestCase) []SampleResult {
 	out := make([]SampleResult, 0, len(tc.Stimuli))
 	req := r.Req
+	// nextC is the first unconsumed ordinal of the response stream: each
+	// matched c-event is consumed, so one response can never be credited to
+	// two consecutive stimuli (which would inflate Pass counts when
+	// stimulus i+1 arrives before response i).
+	nextC := 0
 	for i, at := range tc.Stimuli {
 		s := SampleResult{Index: i, StimulusAt: at}
 		m, ok := sys.Trace.FirstAt(fourvar.Monitored, req.Stimulus.Signal, at, req.Stimulus.Match.Fn)
@@ -145,7 +150,7 @@ func (r *Runner) evaluate(sys *platform.System, tc TestCase) []SampleResult {
 		}
 		s.MEvent = m
 		s.MObserved = true
-		c, ok := sys.Trace.FirstAt(fourvar.Controlled, req.Response.Signal, m.At, req.Response.Match.Fn)
+		c, ord, ok := sys.Trace.FirstAtOrd(fourvar.Controlled, req.Response.Signal, m.At, nextC, req.Response.Match.Fn)
 		if ok && c.At-m.At > req.EffectiveTimeout() {
 			ok = false // response attributable to a later cause
 		}
@@ -154,6 +159,7 @@ func (r *Runner) evaluate(sys *platform.System, tc TestCase) []SampleResult {
 			out = append(out, s)
 			continue
 		}
+		nextC = ord + 1
 		s.CEvent = c
 		s.CObserved = true
 		s.Delay = c.At - m.At
@@ -228,11 +234,16 @@ func (r *Runner) RunM(tc TestCase) (MResult, error) {
 			}
 		}
 		if s.MObserved && s.CObserved && iName != "" && oName != "" {
+			// The requirement is stated at the m/c boundary, so only the
+			// c-event carries its response predicate; the o-boundary accepts
+			// any change of the mapped output variable. The deadline keeps
+			// the matched chain inside the same window the R-verdict judged.
 			spec := fourvar.MatchSpec{
 				MName: r.Req.Stimulus.Signal, MPred: r.Req.Stimulus.Match.Fn,
 				IName: iName,
-				OName: oName, OPred: r.Req.Response.Match.Fn,
-				CName: r.Req.Response.Signal,
+				OName: oName,
+				CName: r.Req.Response.Signal, CPred: r.Req.Response.Match.Fn,
+				Deadline: r.Req.EffectiveTimeout(),
 			}
 			seg, ok := fourvar.Match(sys.Trace, sys.TransTrace, spec, tc.Stimuli[i])
 			ms.Segments = seg

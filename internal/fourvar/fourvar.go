@@ -61,21 +61,37 @@ func (e Event) String() string {
 	return fmt.Sprintf("%v %s-%s=%d", e.At, e.Kind, e.Name, e.Value)
 }
 
+// traceKey identifies one (kind, name) event stream within a trace.
+type traceKey struct {
+	kind Kind
+	name string
+}
+
 // Trace is an append-only timed event trace. Events must be recorded in
 // non-decreasing time order (the simulator guarantees this); queries rely
-// on it.
+// on it. A per-(kind, name) index is maintained on the fly so the hot
+// queries (FirstAt, Of) are binary searches over one stream instead of
+// linear scans of the whole trace.
 type Trace struct {
 	events []Event
+	// index holds, per (kind, name), the positions of that stream's
+	// events within events, in recording (hence time) order.
+	index map[traceKey][]int
 }
 
 // NewTrace returns an empty trace.
-func NewTrace() *Trace { return &Trace{} }
+func NewTrace() *Trace { return &Trace{index: make(map[traceKey][]int)} }
 
 // Record appends an event.
 func (tr *Trace) Record(kind Kind, name string, value int64, at sim.Time) {
 	if n := len(tr.events); n > 0 && tr.events[n-1].At > at {
 		panic(fmt.Sprintf("fourvar: out-of-order event %v after %v", at, tr.events[n-1].At))
 	}
+	if tr.index == nil {
+		tr.index = make(map[traceKey][]int)
+	}
+	k := traceKey{kind: kind, name: name}
+	tr.index[k] = append(tr.index[k], len(tr.events))
 	tr.events = append(tr.events, Event{Kind: kind, Name: name, Value: value, At: at})
 }
 
@@ -87,31 +103,59 @@ func (tr *Trace) Events() []Event { return append([]Event(nil), tr.events...) }
 
 // Of returns all events of the given kind and name, in time order.
 func (tr *Trace) Of(kind Kind, name string) []Event {
-	var out []Event
-	for _, e := range tr.events {
-		if e.Kind == kind && e.Name == name {
-			out = append(out, e)
-		}
+	stream := tr.index[traceKey{kind: kind, name: name}]
+	if len(stream) == 0 {
+		return nil
+	}
+	out := make([]Event, len(stream))
+	for i, pos := range stream {
+		out[i] = tr.events[pos]
 	}
 	return out
+}
+
+// firstOrdAt returns the ordinal (within the stream) of the first event of
+// the stream at or after t: a binary search, valid because streams are in
+// non-decreasing time order.
+func (tr *Trace) firstOrdAt(stream []int, t sim.Time) int {
+	return sort.Search(len(stream), func(i int) bool {
+		return tr.events[stream[i]].At >= t
+	})
 }
 
 // FirstAt returns the first event of kind/name at or after t that
 // satisfies pred (nil pred matches any value).
 func (tr *Trace) FirstAt(kind Kind, name string, t sim.Time, pred func(int64) bool) (Event, bool) {
-	for _, e := range tr.events {
-		if e.At < t || e.Kind != kind || e.Name != name {
-			continue
-		}
+	e, _, ok := tr.FirstAtOrd(kind, name, t, 0, pred)
+	return e, ok
+}
+
+// FirstAtOrd is FirstAt with stream ordinals exposed: it returns the first
+// event of kind/name at or after t whose ordinal within the (kind, name)
+// stream is at least minOrd and that satisfies pred, together with that
+// ordinal. Callers that must not attribute one event to two queries (e.g.
+// crediting each response to exactly one stimulus) pass the previous
+// match's ordinal plus one as minOrd.
+func (tr *Trace) FirstAtOrd(kind Kind, name string, t sim.Time, minOrd int, pred func(int64) bool) (Event, int, bool) {
+	stream := tr.index[traceKey{kind: kind, name: name}]
+	ord := tr.firstOrdAt(stream, t)
+	if ord < minOrd {
+		ord = minOrd
+	}
+	for ; ord < len(stream); ord++ {
+		e := tr.events[stream[ord]]
 		if pred == nil || pred(e.Value) {
-			return e, true
+			return e, ord, true
 		}
 	}
-	return Event{}, false
+	return Event{}, -1, false
 }
 
 // Reset discards all recorded events.
-func (tr *Trace) Reset() { tr.events = tr.events[:0] }
+func (tr *Trace) Reset() {
+	tr.events = tr.events[:0]
+	tr.index = make(map[traceKey][]int)
+}
 
 // String renders the trace, one event per line.
 func (tr *Trace) String() string {
@@ -284,7 +328,10 @@ func (s Segments) String() string {
 
 // MatchSpec identifies the causal chain to extract: the stimulus
 // m-variable and the response o-variable, with optional value predicates
-// (nil matches any change).
+// (nil matches any change). OPred applies to the o-boundary only; the
+// Controlled event has its own CPred, because the output-variable encoding
+// and the controlled-signal encoding need not coincide (an output device
+// may rescale the value it drives).
 type MatchSpec struct {
 	MName string
 	MPred func(int64) bool
@@ -292,6 +339,13 @@ type MatchSpec struct {
 	OName string
 	OPred func(int64) bool
 	CName string // c-signal name (defaults via Mapping)
+	CPred func(int64) bool
+	// Deadline, when positive, bounds the whole chain: every event of the
+	// match must occur within Deadline of the m-event, mirroring the
+	// requirement timeout the R-verdict was computed with. Without it the
+	// c-search could run past the timeout and return a later response than
+	// the one the verdict judged.
+	Deadline sim.Time
 }
 
 // Match extracts the delay segments for the stimulus at mAt. It finds the
@@ -299,7 +353,9 @@ type MatchSpec struct {
 // first matching o-event after the i-event, then the first matching
 // c-event after the o-event, and finally the transitions executed in the
 // [i, o] window. It reports ok=false when any link of the chain is
-// missing (e.g. the response never occurred before the trace ended).
+// missing (e.g. the response never occurred before the trace ended) or,
+// with a Deadline set, when any link falls past the deadline — a chain
+// that slow belongs to a later cause, not to this stimulus.
 func Match(tr *Trace, tt *TransitionTrace, spec MatchSpec, mAt sim.Time) (Segments, bool) {
 	var s Segments
 	m, ok := tr.FirstAt(Monitored, spec.MName, mAt, spec.MPred)
@@ -307,18 +363,21 @@ func Match(tr *Trace, tt *TransitionTrace, spec MatchSpec, mAt sim.Time) (Segmen
 		return s, false
 	}
 	s.M = m
+	within := func(e Event) bool {
+		return spec.Deadline <= 0 || e.At-m.At <= spec.Deadline
+	}
 	i, ok := tr.FirstAt(Input, spec.IName, m.At, nil)
-	if !ok {
+	if !ok || !within(i) {
 		return s, false
 	}
 	s.I = i
 	o, ok := tr.FirstAt(Output, spec.OName, i.At, spec.OPred)
-	if !ok {
+	if !ok || !within(o) {
 		return s, false
 	}
 	s.O = o
-	c, ok := tr.FirstAt(Controlled, spec.CName, o.At, spec.OPred)
-	if !ok {
+	c, ok := tr.FirstAt(Controlled, spec.CName, o.At, spec.CPred)
+	if !ok || !within(c) {
 		return s, false
 	}
 	s.C = c

@@ -246,6 +246,184 @@ func TestMatchPropertySegmentIdentity(t *testing.T) {
 	}
 }
 
+// Regression (issue 2, satellite 1): Match must bound the whole chain by
+// the requirement deadline, exactly as the R-verdict does. Without the
+// bound, a near-boundary sample's c-search runs past the timeout and
+// returns a later response than the one the verdict judged.
+func TestMatchDeadlineBoundsChain(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	tr.Record(Input, "i_Btn", 1, 12*ms)
+	tr.Record(Output, "o_Motor", 1, 14*ms)
+	tr.Record(Controlled, "motor", 1, 200*ms) // actuation starved: 190 ms after m
+	spec := chainSpec()
+
+	// No deadline: legacy behaviour, the late c still matches.
+	if _, ok := Match(tr, nil, spec, 0); !ok {
+		t.Fatal("without a deadline the chain should match")
+	}
+	// A 100 ms deadline (the R-verdict's timeout) rejects the chain: the
+	// c-event belongs to no conformant response of this stimulus.
+	spec.Deadline = 100 * ms
+	if s, ok := Match(tr, nil, spec, 0); ok {
+		t.Fatalf("chain beyond the deadline must not match: %v", s)
+	}
+	// A deadline covering the chain still matches it.
+	spec.Deadline = 250 * ms
+	if s, ok := Match(tr, nil, spec, 0); !ok || s.C.At != 200*ms {
+		t.Fatalf("chain within the deadline should match: %v %v", s, ok)
+	}
+}
+
+// Regression (issue 2, satellite 1): when the stimulus' own response chain
+// exceeds the deadline but a later stimulus produced a fast chain, Match
+// must report no chain rather than silently explaining the later response.
+func TestMatchDeadlineRejectsLaterResponse(t *testing.T) {
+	tr := NewTrace()
+	// Stimulus 1: response c arrives 400 ms after m (beyond the 100 ms
+	// deadline — the R-verdict said MAX).
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	tr.Record(Input, "i_Btn", 1, 15*ms)
+	tr.Record(Output, "o_Motor", 1, 20*ms)
+	// Stimulus 2 and its fast chain.
+	tr.Record(Monitored, "btn", 1, 300*ms)
+	tr.Record(Input, "i_Btn", 1, 305*ms)
+	tr.Record(Output, "o_Motor", 1, 308*ms)
+	tr.Record(Controlled, "motor", 1, 312*ms) // stimulus 2's response
+	spec := chainSpec()
+	spec.Deadline = 100 * ms
+	if s, ok := Match(tr, nil, spec, 0); ok {
+		t.Fatalf("stimulus 1 must not be explained by stimulus 2's response: %v", s)
+	}
+	// Stimulus 2's own window still matches its own chain.
+	if s, ok := Match(tr, nil, spec, 250*ms); !ok || s.C.At != 312*ms || s.Total() != 12*ms {
+		t.Fatalf("stimulus 2 chain: %v %v", s, ok)
+	}
+}
+
+// Regression (issue 2, satellite 2): the Controlled event has its own
+// predicate. When the output-variable encoding (here 0/1) differs from the
+// controlled-signal encoding (here 0/5, an output device driving a scaled
+// level), reusing OPred for the c-search silently mis-matches.
+func TestMatchDistinctOCEncodings(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "btn", 1, 10*ms)
+	tr.Record(Input, "i_Btn", 1, 12*ms)
+	tr.Record(Output, "o_Motor", 1, 14*ms)    // chart encoding: 1 = on
+	tr.Record(Controlled, "motor", 5, 18*ms)  // device encoding: 5 = full speed
+	tr.Record(Controlled, "motor", 0, 900*ms) // later off-event
+	spec := MatchSpec{
+		MName: "btn", MPred: func(v int64) bool { return v == 1 },
+		IName: "i_Btn",
+		OName: "o_Motor", OPred: func(v int64) bool { return v == 1 },
+		CName: "motor", CPred: func(v int64) bool { return v == 5 },
+	}
+	s, ok := Match(tr, nil, spec, 0)
+	if !ok {
+		t.Fatal("distinct o/c encodings must still match via CPred")
+	}
+	if s.O.Value != 1 || s.C.Value != 5 || s.C.At != 18*ms || s.OutputDelay() != 4*ms {
+		t.Fatalf("wrong chain: %v", s)
+	}
+	// A nil CPred accepts any c-change (first one after o).
+	spec.CPred = nil
+	if s, ok := Match(tr, nil, spec, 0); !ok || s.C.At != 18*ms {
+		t.Fatalf("nil CPred: %v %v", s, ok)
+	}
+}
+
+// FirstAtOrd exposes stream ordinals so callers can consume matches:
+// passing the previous match's ordinal + 1 skips events already credited.
+func TestFirstAtOrdConsumesMatches(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Controlled, "motor", 1, 10*ms)
+	tr.Record(Controlled, "motor", 0, 20*ms)
+	tr.Record(Controlled, "motor", 1, 30*ms)
+	on := func(v int64) bool { return v == 1 }
+	e, ord, ok := tr.FirstAtOrd(Controlled, "motor", 0, 0, on)
+	if !ok || e.At != 10*ms || ord != 0 {
+		t.Fatalf("first match: %v %d %v", e, ord, ok)
+	}
+	// Consuming ordinal 0: even a query from t=0 may not re-credit it.
+	e, ord, ok = tr.FirstAtOrd(Controlled, "motor", 0, ord+1, on)
+	if !ok || e.At != 30*ms || ord != 2 {
+		t.Fatalf("consumed search: %v %d %v", e, ord, ok)
+	}
+	if _, _, ok := tr.FirstAtOrd(Controlled, "motor", 0, 3, on); ok {
+		t.Fatal("exhausted stream should not match")
+	}
+}
+
+// Property: the indexed FirstAt/Of agree with a straightforward linear
+// scan over randomized traces — the index is a pure speedup.
+func TestIndexedQueriesMatchLinearScan(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := sim.NewRand(uint64(seed))
+		tr := NewTrace()
+		var all []Event
+		names := []string{"a", "b"}
+		var at sim.Time
+		for k := 0; k < 200; k++ {
+			at += sim.Time(r.Intn(3)) * ms
+			kind := Kind(r.Intn(4))
+			name := names[r.Intn(len(names))]
+			v := int64(r.Intn(3))
+			tr.Record(kind, name, v, at)
+			all = append(all, Event{Kind: kind, Name: name, Value: v, At: at})
+		}
+		linearFirst := func(kind Kind, name string, t sim.Time, pred func(int64) bool) (Event, bool) {
+			for _, e := range all {
+				if e.At < t || e.Kind != kind || e.Name != name {
+					continue
+				}
+				if pred == nil || pred(e.Value) {
+					return e, true
+				}
+			}
+			return Event{}, false
+		}
+		pred := func(v int64) bool { return v == 1 }
+		for q := 0; q < 50; q++ {
+			qt := sim.Time(r.Intn(int(at/ms)+2)) * ms
+			kind := Kind(r.Intn(4))
+			name := names[r.Intn(len(names))]
+			we, wok := linearFirst(kind, name, qt, pred)
+			ge, gok := tr.FirstAt(kind, name, qt, pred)
+			if wok != gok || we != ge {
+				return false
+			}
+			we, wok = linearFirst(kind, name, qt, nil)
+			ge, gok = tr.FirstAt(kind, name, qt, nil)
+			if wok != gok || we != ge {
+				return false
+			}
+		}
+		for _, kind := range []Kind{Monitored, Input, Output, Controlled} {
+			for _, name := range names {
+				var want []Event
+				for _, e := range all {
+					if e.Kind == kind && e.Name == name {
+						want = append(want, e)
+					}
+				}
+				got := tr.Of(kind, name)
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if Monitored.String() != "m" || Input.String() != "i" || Output.String() != "o" || Controlled.String() != "c" {
 		t.Fatal("kind strings wrong")

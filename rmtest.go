@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"rmtest/internal/baseline"
+	"rmtest/internal/campaign"
 	"rmtest/internal/codegen"
 	"rmtest/internal/core"
 	"rmtest/internal/coverage"
@@ -184,6 +185,33 @@ const (
 
 // Time is a virtual-time instant or span.
 type Time = sim.Time
+
+// Campaign engine (internal/campaign): deterministic parallel execution
+// of independent experiment runs.
+type (
+	// CampaignConfig bounds the worker pool and seeds the campaign.
+	CampaignConfig = campaign.Config
+	// CampaignRun identifies one unit of work (index + derived seed).
+	CampaignRun = campaign.Run
+	// CampaignProgress is a progress/throughput snapshot.
+	CampaignProgress = campaign.Progress
+)
+
+// CampaignSeeds derives n per-run seeds from a campaign seed by a
+// splitmix64 split; run k's seed never depends on scheduling or on n.
+func CampaignSeeds(seed uint64, n int) []uint64 { return campaign.Seeds(seed, n) }
+
+// RunCampaign executes fn for run indices [0, n) on a bounded worker pool
+// with deterministic, run-ordered outcomes (see internal/campaign).
+func RunCampaign[T any](cfg CampaignConfig, n int, fn func(CampaignRun) (T, error)) []campaign.Outcome[T] {
+	return campaign.Map(cfg, n, fn)
+}
+
+// CampaignValues unwraps campaign outcomes in run order, or returns the
+// first failure.
+func CampaignValues[T any](outs []campaign.Outcome[T]) ([]T, error) {
+	return campaign.Values(outs)
+}
 
 // VerifyResponse checks a model-level timing property on a chart.
 func VerifyResponse(c *Chart, prop ResponseProperty, opt VerifyOptions) (VerifyResult, error) {

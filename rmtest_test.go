@@ -1,7 +1,10 @@
 package rmtest_test
 
 import (
+	"fmt"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -121,7 +124,7 @@ func TestAblationBaselineYieldsLessInformation(t *testing.T) {
 
 func TestAblationPeriodSweepMonotoneCodeDelay(t *testing.T) {
 	periods := []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
-	points, err := rmtest.AblationPeriodSweep(periods, 6, 5)
+	points, err := rmtest.AblationPeriodSweep(periods, 6, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +202,7 @@ func TestRenderCSVFromExperiment(t *testing.T) {
 }
 
 func TestRequirementsMatrix(t *testing.T) {
-	cells, err := rmtest.RequirementsMatrix(4, 42)
+	cells, err := rmtest.RequirementsMatrix(4, 42, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,5 +316,83 @@ func TestExperimentsDocNumbers(t *testing.T) {
 	}
 	if reports[2].R.Samples[1].Verdict != rmtest.Max {
 		t.Fatalf("scheme3 sample2 should be MAX (update EXPERIMENTS.md)")
+	}
+}
+
+// TestCampaignTableIMatchesSequentialGolden pins the campaign engine's
+// central promise: the parallel experiment produces byte-identical output
+// to the sequential one, and both reproduce the pre-campaign-engine CSV
+// captured in testdata (generated by `tablei -n 10 -seed 42 -csv` before
+// the engine existed).
+func TestCampaignTableIMatchesSequentialGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/tablei_seed42_prepr.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		reports, err := rmtest.TableIExperiment(rmtest.TableIOptions{
+			Samples: 10, Seed: 42, ForceM: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := rmtest.RenderCSV(reports); got != string(golden) {
+			t.Errorf("workers=%d diverges from the sequential golden:\n%s", workers, got)
+		}
+	}
+}
+
+// TestCampaignMatrixMatchesSequentialGolden is the same determinism pin
+// for the 9-cell requirements matrix.
+func TestCampaignMatrixMatchesSequentialGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/matrix_s4_seed42_prepr.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(cells []rmtest.MatrixCell) string {
+		var b strings.Builder
+		for _, c := range cells {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%d\n", c.Requirement, c.Scheme, c.Pass, c.Fail, c.Max)
+		}
+		return b.String()
+	}
+	for _, workers := range []int{1, 8} {
+		cells, err := rmtest.RequirementsMatrix(4, 42, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := render(cells); got != string(golden) {
+			t.Errorf("workers=%d diverges from the sequential golden:\n%s", workers, got)
+		}
+	}
+}
+
+// TestCampaignProgressThroughTableI exercises the progress callback on a
+// real experiment. The experiment runs two campaign phases (R sweep, then
+// M sweep), each with fresh counters, so the test checks per-callback
+// sanity and that the last phase ends complete.
+func TestCampaignProgressThroughTableI(t *testing.T) {
+	var mu sync.Mutex
+	var last rmtest.CampaignProgress
+	calls := 0
+	_, err := rmtest.TableIExperiment(rmtest.TableIOptions{
+		Samples: 2, Seed: 1, Workers: 2,
+		Progress: func(p rmtest.CampaignProgress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Done < 1 || p.Done > p.Total || p.Elapsed <= 0 {
+				t.Errorf("implausible progress: %+v", p)
+			}
+			last = p
+			calls++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 || last.Done != last.Total || last.Failed != 0 {
+		t.Fatalf("progress incomplete: calls=%d last=%+v", calls, last)
 	}
 }
