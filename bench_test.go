@@ -21,6 +21,7 @@ import (
 	"rmtest/internal/core"
 	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
+	"rmtest/internal/monitor"
 	"rmtest/internal/platform"
 	"rmtest/internal/rtos"
 	"rmtest/internal/sim"
@@ -405,5 +406,74 @@ func BenchmarkTraceFirstAt(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
 		tr.FirstAt(fourvar.Controlled, "motor", q, on)
+	}
+}
+
+// --- Online monitor (streaming verdicts, PR: monitor subsystem) -------
+
+// BenchmarkMonitorOnlineVsPostHoc measures the early-termination payoff:
+// the same Table I scheme-1 R run executed post-hoc (full horizon, trace
+// scan afterwards), online without early stop, and online with early
+// stop. The kernel-events/op metric shows the simulated work saved —
+// early-stopped runs fire a fraction of the full-horizon events while
+// producing identical verdicts (asserted in TestOnlineTableIMatchesGolden).
+func BenchmarkMonitorOnlineVsPostHoc(b *testing.B) {
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: 10, Start: 50 * time.Millisecond, Spacing: 4500 * time.Millisecond,
+		Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond, Seed: 42,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := gpca.Factory(func() platform.Scheme { return platform.DefaultScheme1() })
+
+	b.Run("posthoc", func(b *testing.B) {
+		runner, err := core.NewRunner(factory, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			sys, err := runner.Setup(platform.RLevel, tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Run(tc.Horizon(req))
+			if res := runner.Evaluate(sys, tc); len(res) != 10 {
+				b.Fatal("bad result")
+			}
+			events += sys.Kernel.EventsFired()
+			sys.Shutdown()
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "kernel-events/op")
+	})
+	for _, early := range []bool{false, true} {
+		name := "online-full"
+		if early {
+			name = "online-earlystop"
+		}
+		b.Run(name, func(b *testing.B) {
+			runner, err := monitor.NewRunner(factory, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner.EarlyStop = early
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, stats, err := runner.RunR(tc)
+				if err != nil || len(res.Samples) != 10 {
+					b.Fatalf("bad result: %v", err)
+				}
+				if early && !stats.StoppedEarly {
+					b.Fatal("early stop did not engage")
+				}
+				events += stats.KernelEvents
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "kernel-events/op")
+		})
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m]
+//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online]
 //	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta]
 //
 // The lint subcommand runs the static-analysis layer on a shipped chart:
@@ -38,6 +38,7 @@ func main() {
 	forceM := flag.Bool("force-m", false, "run M-testing even when R-testing passes")
 	cover := flag.Bool("coverage", false, "measure test adequacy and suggest extra stimuli")
 	rtaFlag := flag.Bool("rta", false, "print the analytic response-time prediction for the scheme")
+	online := flag.Bool("online", false, "evaluate verdicts with the streaming monitor (early termination); verdicts are identical, monitor stats are printed")
 	flag.Parse()
 
 	var req rmtest.Requirement
@@ -102,10 +103,6 @@ func main() {
 	}
 
 	// Phase 1+2: layered R-M testing on the implemented system.
-	runner, err := rmtest.NewRunner(gpca.Factory(mk), req)
-	if err != nil {
-		fail("runner: %v", err)
-	}
 	gen := core.Generator{
 		N: *n, Start: 50 * time.Millisecond,
 		Spacing:  4500 * time.Millisecond,
@@ -116,9 +113,30 @@ func main() {
 	if err != nil {
 		fail("generate: %v", err)
 	}
-	rep, err := runner.RunRM(tc, *forceM)
-	if err != nil {
-		fail("run: %v", err)
+	var rep rmtest.Report
+	if *online {
+		runner, err := rmtest.NewOnlineRunner(gpca.Factory(mk), req)
+		if err != nil {
+			fail("runner: %v", err)
+		}
+		runner.EarlyStop = true
+		var stats []rmtest.MonitorStats
+		rep, stats, err = runner.RunRM(tc, *forceM)
+		if err != nil {
+			fail("run: %v", err)
+		}
+		fmt.Println("== online monitor ==")
+		fmt.Print(rmtest.RenderMonitorStats(stats))
+		fmt.Println()
+	} else {
+		runner, err := rmtest.NewRunner(gpca.Factory(mk), req)
+		if err != nil {
+			fail("runner: %v", err)
+		}
+		rep, err = runner.RunRM(tc, *forceM)
+		if err != nil {
+			fail("run: %v", err)
+		}
 	}
 	fmt.Printf("== R-testing (%s) ==\n", rep.R.Scheme)
 	for _, s := range rep.R.Samples {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress]
+//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "also print the requirement x scheme conformance matrix")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	progress := flag.Bool("progress", false, "report campaign progress and throughput on stderr")
+	online := flag.Bool("online", false, "evaluate verdicts with the streaming monitor (early termination); output is identical, monitor stats go to stderr")
 	flag.Parse()
 
 	opt := rmtest.TableIOptions{
@@ -35,7 +36,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tablei:", p)
 		}
 	}
-	reports, err := rmtest.TableIExperiment(opt)
+	var reports []rmtest.Report
+	var err error
+	if *online {
+		var stats []rmtest.MonitorStats
+		reports, stats, err = rmtest.TableIExperimentOnline(opt)
+		if err == nil {
+			fmt.Fprint(os.Stderr, rmtest.RenderMonitorStats(stats))
+		}
+	} else {
+		reports, err = rmtest.TableIExperiment(opt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablei:", err)
 		os.Exit(1)
@@ -55,7 +66,16 @@ func main() {
 	}
 	fmt.Print(rmtest.RenderTableI(reports))
 	if *matrix {
-		cells, err := rmtest.RequirementsMatrix(*n, *seed, *workers)
+		var cells []rmtest.MatrixCell
+		if *online {
+			var stats []rmtest.MonitorStats
+			cells, stats, err = rmtest.RequirementsMatrixOnline(*n, *seed, *workers)
+			if err == nil {
+				fmt.Fprint(os.Stderr, rmtest.RenderMonitorStats(stats))
+			}
+		} else {
+			cells, err = rmtest.RequirementsMatrix(*n, *seed, *workers)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tablei:", err)
 			os.Exit(1)

@@ -10,6 +10,7 @@ import (
 	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
 	"rmtest/internal/lint"
+	"rmtest/internal/monitor"
 	"rmtest/internal/platform"
 	"rmtest/internal/rta"
 	"rmtest/internal/sim"
@@ -31,6 +32,13 @@ type TableIOptions struct {
 	Workers int
 	// Progress, when set, receives a snapshot after every completed run.
 	Progress func(campaign.Progress)
+	// Online switches verdict extraction to the streaming monitor
+	// subsystem with early termination: each run halts the moment every
+	// sample is decided instead of simulating to the horizon. Verdicts
+	// are identical either way (asserted against the goldens); only the
+	// amount of simulated work and the availability of monitor stats
+	// differ. Use TableIExperimentOnline to also receive the stats.
+	Online bool
 }
 
 // TableIExperiment reproduces the paper's Table I: the bolus-request
@@ -41,6 +49,27 @@ type TableIOptions struct {
 // schemes in parallel, then M-testing for the violating (or forced)
 // schemes in parallel, reproducing Runner.RunRM's layered flow.
 func TableIExperiment(opt TableIOptions) ([]Report, error) {
+	reports, _, err := tableI(opt)
+	return reports, err
+}
+
+// TableIExperimentOnline is TableIExperiment on the streaming monitor
+// subsystem, returning the per-run monitor stats alongside the reports:
+// one Stats per R run (schemes 1-3 in order) followed by one per M run.
+// The reports are byte-identical to the post-hoc TableIExperiment.
+func TableIExperimentOnline(opt TableIOptions) ([]Report, []monitor.Stats, error) {
+	opt.Online = true
+	return tableI(opt)
+}
+
+// tableIRun is one campaign unit's outcome: the result plus, on the
+// online path, the monitor's counters.
+type tableIRun[T any] struct {
+	res   T
+	stats monitor.Stats
+}
+
+func tableI(opt TableIOptions) ([]Report, []monitor.Stats, error) {
 	if opt.Samples <= 0 {
 		opt.Samples = 10
 	}
@@ -55,7 +84,7 @@ func TableIExperiment(opt TableIOptions) ([]Report, error) {
 	}
 	tc, err := gen.Generate(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	schemes := []func() platform.Scheme{
 		func() platform.Scheme { return platform.DefaultScheme1() },
@@ -63,40 +92,67 @@ func TableIExperiment(opt TableIOptions) ([]Report, error) {
 		func() platform.Scheme { return platform.DefaultScheme3() },
 	}
 	cfg := campaign.Config{Workers: opt.Workers, Seed: opt.Seed, OnProgress: opt.Progress}
-	rres, err := campaign.Values(campaign.Map(cfg, len(schemes), func(run campaign.Run) (core.RResult, error) {
+	rres, err := campaign.Values(campaign.Map(cfg, len(schemes), func(run campaign.Run) (tableIRun[core.RResult], error) {
+		if opt.Online {
+			runner, err := monitor.NewRunner(gpca.Factory(schemes[run.Index]), req)
+			if err != nil {
+				return tableIRun[core.RResult]{}, err
+			}
+			runner.EarlyStop = true
+			rr, st, err := runner.RunR(tc)
+			return tableIRun[core.RResult]{res: rr, stats: st}, err
+		}
 		runner, err := core.NewRunner(gpca.Factory(schemes[run.Index]), req)
 		if err != nil {
-			return core.RResult{}, err
+			return tableIRun[core.RResult]{}, err
 		}
-		return runner.RunR(tc)
+		rr, err := runner.RunR(tc)
+		return tableIRun[core.RResult]{res: rr}, err
 	}))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reports := make([]Report, len(schemes))
+	var stats []monitor.Stats
 	var needM []int
 	for i, rr := range rres {
-		reports[i] = Report{R: rr}
-		if opt.ForceM || !rr.Passed() {
+		reports[i] = Report{R: rr.res}
+		if opt.Online {
+			stats = append(stats, rr.stats)
+		}
+		if opt.ForceM || !rr.res.Passed() {
 			needM = append(needM, i)
 		}
 	}
-	mres, err := campaign.Values(campaign.Map(cfg, len(needM), func(run campaign.Run) (core.MResult, error) {
+	mres, err := campaign.Values(campaign.Map(cfg, len(needM), func(run campaign.Run) (tableIRun[core.MResult], error) {
+		if opt.Online {
+			runner, err := monitor.NewRunner(gpca.Factory(schemes[needM[run.Index]]), req)
+			if err != nil {
+				return tableIRun[core.MResult]{}, err
+			}
+			runner.EarlyStop = true
+			mr, st, err := runner.RunM(tc)
+			return tableIRun[core.MResult]{res: mr, stats: st}, err
+		}
 		runner, err := core.NewRunner(gpca.Factory(schemes[needM[run.Index]]), req)
 		if err != nil {
-			return core.MResult{}, err
+			return tableIRun[core.MResult]{}, err
 		}
-		return runner.RunM(tc)
+		mr, err := runner.RunM(tc)
+		return tableIRun[core.MResult]{res: mr}, err
 	}))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for k, i := range needM {
-		m := mres[k]
+		m := mres[k].res
 		reports[i].M = &m
 		reports[i].Diagnosis = core.Diagnose(m)
+		if opt.Online {
+			stats = append(stats, mres[k].stats)
+		}
 	}
-	return reports, nil
+	return reports, stats, nil
 }
 
 // Fig3Experiment reproduces the layered view of Fig. 3 for one bolus
@@ -315,86 +371,145 @@ func (c MatrixCell) Conforms() bool { return c.Fail == 0 && c.Max == 0 }
 // (workers 0 means GOMAXPROCS), in the same row-major order the
 // sequential loops produced.
 func RequirementsMatrix(samples int, seed uint64, workers int) ([]MatrixCell, error) {
-	if samples <= 0 {
-		samples = 5
-	}
+	cells, _, err := requirementsMatrix(samples, seed, workers, false)
+	return cells, err
+}
+
+// RequirementsMatrixOnline is RequirementsMatrix on the streaming monitor
+// subsystem with early termination, returning one monitor.Stats per cell
+// in the same row-major order. Cells are byte-identical to the post-hoc
+// RequirementsMatrix.
+func RequirementsMatrixOnline(samples int, seed uint64, workers int) ([]MatrixCell, []monitor.Stats, error) {
+	return requirementsMatrix(samples, seed, workers, true)
+}
+
+// matrixUnit is one (requirement, scheme) cell of the matrix.
+type matrixUnit struct {
+	req core.Requirement
+	mk  func() platform.Scheme
+}
+
+func matrixUnits() []matrixUnit {
 	schemes := []func() platform.Scheme{
 		func() platform.Scheme { return platform.DefaultScheme1() },
 		func() platform.Scheme { return platform.DefaultScheme2() },
 		func() platform.Scheme { return platform.DefaultScheme3() },
 	}
-	type cellUnit struct {
-		req core.Requirement
-		mk  func() platform.Scheme
-	}
-	var units []cellUnit
+	var units []matrixUnit
 	for _, req := range []core.Requirement{gpca.REQ1(), gpca.REQ2(), gpca.REQ3()} {
 		for _, mk := range schemes {
-			units = append(units, cellUnit{req: req, mk: mk})
+			units = append(units, matrixUnit{req: req, mk: mk})
 		}
 	}
-	cfg := campaign.Config{Workers: workers, Seed: seed}
-	return campaign.Values(campaign.Map(cfg, len(units), func(run campaign.Run) (MatrixCell, error) {
-		req, mk := units[run.Index].req, units[run.Index].mk
-		runner, err := core.NewRunner(gpca.Factory(mk), req)
-		if err != nil {
-			return MatrixCell{}, err
+	return units
+}
+
+// matrixRunner builds the post-hoc runner and test case for one matrix
+// unit — shared verbatim by the post-hoc and online paths, so both
+// execute the same simulation.
+func matrixRunner(u matrixUnit, samples int, seed uint64) (*core.Runner, core.TestCase, error) {
+	runner, err := core.NewRunner(gpca.Factory(u.mk), u.req)
+	if err != nil {
+		return nil, core.TestCase{}, err
+	}
+	tc := core.TestCase{Name: u.req.ID}
+	switch u.req.ID {
+	case "REQ2":
+		// The empty condition is a persistent level; one sample.
+		tc.Stimuli = []sim.Time{100 * time.Millisecond}
+	case "REQ3":
+		// Alarm, then clear; alternate so each clear sees a fresh
+		// alarm. The stimulus signal is the clear button.
+		gen := core.Generator{
+			N: samples, Start: 500 * time.Millisecond,
+			Spacing:  2 * time.Second,
+			Strategy: core.JitteredSpacing, Jitter: 100 * time.Millisecond,
+			Seed: seed,
 		}
-		tc := core.TestCase{Name: req.ID}
-		switch req.ID {
-		case "REQ2":
-			// The empty condition is a persistent level; one sample.
-			tc.Stimuli = []sim.Time{100 * time.Millisecond}
-		case "REQ3":
-			// Alarm, then clear; alternate so each clear sees a fresh
-			// alarm. The stimulus signal is the clear button.
-			gen := core.Generator{
-				N: samples, Start: 500 * time.Millisecond,
-				Spacing:  2 * time.Second,
-				Strategy: core.JitteredSpacing, Jitter: 100 * time.Millisecond,
-				Seed: seed,
+		tc, err = gen.Generate(u.req)
+		if err != nil {
+			return nil, core.TestCase{}, err
+		}
+		runner.Prepare = func(sys *platform.System, tcase core.TestCase) {
+			for _, at := range tcase.Stimuli {
+				// Raise the empty alarm 300 ms before each clear
+				// and drop the condition after, so the next cycle
+				// re-alarms.
+				sys.Env.PulseAt(at-300*time.Millisecond, gpca.SigReservoirEmpty, 1, 0, 600*time.Millisecond)
 			}
-			tc, err = gen.Generate(req)
+		}
+	default:
+		gen := core.Generator{
+			N: samples, Start: 50 * time.Millisecond,
+			Spacing:  4500 * time.Millisecond,
+			Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
+			Seed: seed,
+		}
+		tc, err = gen.Generate(u.req)
+		if err != nil {
+			return nil, core.TestCase{}, err
+		}
+	}
+	return runner, tc, nil
+}
+
+// tallyCell folds per-sample verdicts into a matrix cell.
+func tallyCell(reqID, scheme string, samples []core.SampleResult) MatrixCell {
+	cell := MatrixCell{Requirement: reqID, Scheme: scheme}
+	for _, s := range samples {
+		switch s.Verdict {
+		case core.Pass:
+			cell.Pass++
+		case core.Fail:
+			cell.Fail++
+		case core.Max:
+			cell.Max++
+		}
+	}
+	return cell
+}
+
+func requirementsMatrix(samples int, seed uint64, workers int, online bool) ([]MatrixCell, []monitor.Stats, error) {
+	if samples <= 0 {
+		samples = 5
+	}
+	units := matrixUnits()
+	cfg := campaign.Config{Workers: workers, Seed: seed}
+	outs, err := campaign.Values(campaign.Map(cfg, len(units), func(run campaign.Run) (tableIRun[MatrixCell], error) {
+		u := units[run.Index]
+		runner, tc, err := matrixRunner(u, samples, seed)
+		if err != nil {
+			return tableIRun[MatrixCell]{}, err
+		}
+		if online {
+			on := &monitor.Runner{Post: runner, EarlyStop: true}
+			res, st, err := on.RunR(tc)
 			if err != nil {
-				return MatrixCell{}, err
+				return tableIRun[MatrixCell]{}, err
 			}
-			runner.Prepare = func(sys *platform.System, tcase core.TestCase) {
-				for _, at := range tcase.Stimuli {
-					// Raise the empty alarm 300 ms before each clear
-					// and drop the condition after, so the next cycle
-					// re-alarms.
-					sys.Env.PulseAt(at-300*time.Millisecond, gpca.SigReservoirEmpty, 1, 0, 600*time.Millisecond)
-				}
-			}
-		default:
-			gen := core.Generator{
-				N: samples, Start: 50 * time.Millisecond,
-				Spacing:  4500 * time.Millisecond,
-				Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
-				Seed: seed,
-			}
-			tc, err = gen.Generate(req)
-			if err != nil {
-				return MatrixCell{}, err
-			}
+			return tableIRun[MatrixCell]{
+				res:   tallyCell(u.req.ID, res.Scheme, res.Samples),
+				stats: st,
+			}, nil
 		}
 		res, err := runner.RunR(tc)
 		if err != nil {
-			return MatrixCell{}, err
+			return tableIRun[MatrixCell]{}, err
 		}
-		cell := MatrixCell{Requirement: req.ID, Scheme: res.Scheme}
-		for _, s := range res.Samples {
-			switch s.Verdict {
-			case core.Pass:
-				cell.Pass++
-			case core.Fail:
-				cell.Fail++
-			case core.Max:
-				cell.Max++
-			}
-		}
-		return cell, nil
+		return tableIRun[MatrixCell]{res: tallyCell(u.req.ID, res.Scheme, res.Samples)}, nil
 	}))
+	if err != nil {
+		return nil, nil, err
+	}
+	cells := make([]MatrixCell, len(outs))
+	var stats []monitor.Stats
+	for i, o := range outs {
+		cells[i] = o.res
+		if online {
+			stats = append(stats, o.stats)
+		}
+	}
+	return cells, stats, nil
 }
 
 // SweepPoint is one configuration of the A2 sensitivity ablation.

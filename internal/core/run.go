@@ -128,6 +128,31 @@ func (r *Runner) applyStimuli(sys *platform.System, tc TestCase) {
 	}
 }
 
+// Setup assembles a fresh system at the requested instrumentation level
+// with the test case's stimuli scheduled and the Prepare hook applied —
+// everything RunR/RunM do before advancing the clock. It is exported so
+// alternative evaluation paths (the online monitor subsystem) execute a
+// run identical to the post-hoc one; callers own the returned system and
+// must Shutdown it.
+func (r *Runner) Setup(level platform.Instrument, tc TestCase) (*platform.System, error) {
+	sys, err := r.Factory(level)
+	if err != nil {
+		return nil, err
+	}
+	r.applyStimuli(sys, tc)
+	if r.Prepare != nil {
+		r.Prepare(sys, tc)
+	}
+	return sys, nil
+}
+
+// Evaluate extracts the per-sample verdicts from a finished run's trace —
+// the post-hoc reference the online monitor is asserted byte-identical
+// against.
+func (r *Runner) Evaluate(sys *platform.System, tc TestCase) []SampleResult {
+	return r.evaluate(sys, tc)
+}
+
 // evaluate extracts per-sample verdicts from the trace.
 func (r *Runner) evaluate(sys *platform.System, tc TestCase) []SampleResult {
 	out := make([]SampleResult, 0, len(tc.Stimuli))
@@ -177,15 +202,11 @@ func (r *Runner) evaluate(sys *platform.System, tc TestCase) []SampleResult {
 // test case's stimuli and each sample is judged against the bound using
 // only m- and c-events.
 func (r *Runner) RunR(tc TestCase) (RResult, error) {
-	sys, err := r.Factory(platform.RLevel)
+	sys, err := r.Setup(platform.RLevel, tc)
 	if err != nil {
 		return RResult{}, err
 	}
 	defer sys.Shutdown()
-	r.applyStimuli(sys, tc)
-	if r.Prepare != nil {
-		r.Prepare(sys, tc)
-	}
 	sys.Run(tc.Horizon(r.Req))
 	return RResult{
 		Requirement: r.Req,
@@ -200,18 +221,21 @@ func (r *Runner) RunR(tc TestCase) (RResult, error) {
 // from the i/o-boundary trace. Determinism guarantees the schedule is
 // identical to the R run.
 func (r *Runner) RunM(tc TestCase) (MResult, error) {
-	sys, err := r.Factory(platform.MLevel)
+	sys, err := r.Setup(platform.MLevel, tc)
 	if err != nil {
 		return MResult{}, err
 	}
 	defer sys.Shutdown()
-	r.applyStimuli(sys, tc)
-	if r.Prepare != nil {
-		r.Prepare(sys, tc)
-	}
 	sys.Run(tc.Horizon(r.Req))
-	base := r.evaluate(sys, tc)
+	return r.AnnotateM(sys, tc, r.evaluate(sys, tc)), nil
+}
 
+// AnnotateM lifts R-level base verdicts into the M-testing result by
+// matching each sample's m->i->o->c chain and delay segments from the
+// M-instrumented trace. It is the second half of RunM, split out so the
+// online monitor path can annotate its streaming verdicts with the
+// identical segment extraction.
+func (r *Runner) AnnotateM(sys *platform.System, tc TestCase, base []SampleResult) MResult {
 	mp := sys.Mapping()
 	iName := mp.MtoI[r.Req.Stimulus.Signal]
 	oName := ""
@@ -251,7 +275,7 @@ func (r *Runner) RunM(tc TestCase) (MResult, error) {
 		}
 		res.Samples = append(res.Samples, ms)
 	}
-	return res, nil
+	return res
 }
 
 // Report is the outcome of the layered R->M flow.

@@ -67,32 +67,80 @@ type traceKey struct {
 	name string
 }
 
+// stream is the per-(kind, name) index: the positions of one event
+// stream's events within the trace, in recording (hence time) order. It
+// is held behind a pointer so the append path extends it in place with a
+// single map lookup — the index grows incrementally with every Record
+// and is never rebuilt on a later query.
+type stream struct {
+	pos []int
+}
+
 // Trace is an append-only timed event trace. Events must be recorded in
 // non-decreasing time order (the simulator guarantees this); queries rely
 // on it. A per-(kind, name) index is maintained on the fly so the hot
 // queries (FirstAt, Of) are binary searches over one stream instead of
-// linear scans of the whole trace.
+// linear scans of the whole trace, and interleaving appends with queries
+// never degrades them (see TestTraceInterleavedAppendQuery).
 type Trace struct {
-	events []Event
-	// index holds, per (kind, name), the positions of that stream's
-	// events within events, in recording (hence time) order.
-	index map[traceKey][]int
+	events  []Event
+	streams map[traceKey]*stream
+	// last caches the stream of the most recently recorded (kind, name):
+	// boundary probes typically record bursts on one signal, and the
+	// cache removes the map lookup from those appends.
+	lastKey traceKey
+	last    *stream
+	taps    []func(Event)
 }
 
 // NewTrace returns an empty trace.
-func NewTrace() *Trace { return &Trace{index: make(map[traceKey][]int)} }
+func NewTrace() *Trace { return &Trace{streams: make(map[traceKey]*stream)} }
+
+// Tap registers fn to be called synchronously for every subsequently
+// recorded event, in record order. Taps are how online consumers (the
+// monitor subsystem) observe the event stream as it happens, without
+// copying or re-scanning the trace; they survive Reset.
+func (tr *Trace) Tap(fn func(Event)) {
+	if fn == nil {
+		panic("fourvar: Tap with nil function")
+	}
+	tr.taps = append(tr.taps, fn)
+}
+
+// streamOf returns the (kind, name) stream, creating it when create is
+// set.
+func (tr *Trace) streamOf(kind Kind, name string, create bool) *stream {
+	k := traceKey{kind: kind, name: name}
+	if tr.last != nil && tr.lastKey == k {
+		return tr.last
+	}
+	s := tr.streams[k]
+	if s == nil {
+		if !create {
+			return nil
+		}
+		if tr.streams == nil {
+			tr.streams = make(map[traceKey]*stream)
+		}
+		s = &stream{}
+		tr.streams[k] = s
+	}
+	tr.lastKey, tr.last = k, s
+	return s
+}
 
 // Record appends an event.
 func (tr *Trace) Record(kind Kind, name string, value int64, at sim.Time) {
 	if n := len(tr.events); n > 0 && tr.events[n-1].At > at {
 		panic(fmt.Sprintf("fourvar: out-of-order event %v after %v", at, tr.events[n-1].At))
 	}
-	if tr.index == nil {
-		tr.index = make(map[traceKey][]int)
+	s := tr.streamOf(kind, name, true)
+	s.pos = append(s.pos, len(tr.events))
+	e := Event{Kind: kind, Name: name, Value: value, At: at}
+	tr.events = append(tr.events, e)
+	for _, fn := range tr.taps {
+		fn(e)
 	}
-	k := traceKey{kind: kind, name: name}
-	tr.index[k] = append(tr.index[k], len(tr.events))
-	tr.events = append(tr.events, Event{Kind: kind, Name: name, Value: value, At: at})
 }
 
 // Len returns the number of recorded events.
@@ -103,12 +151,12 @@ func (tr *Trace) Events() []Event { return append([]Event(nil), tr.events...) }
 
 // Of returns all events of the given kind and name, in time order.
 func (tr *Trace) Of(kind Kind, name string) []Event {
-	stream := tr.index[traceKey{kind: kind, name: name}]
-	if len(stream) == 0 {
+	s := tr.streamOf(kind, name, false)
+	if s == nil || len(s.pos) == 0 {
 		return nil
 	}
-	out := make([]Event, len(stream))
-	for i, pos := range stream {
+	out := make([]Event, len(s.pos))
+	for i, pos := range s.pos {
 		out[i] = tr.events[pos]
 	}
 	return out
@@ -137,13 +185,16 @@ func (tr *Trace) FirstAt(kind Kind, name string, t sim.Time, pred func(int64) bo
 // crediting each response to exactly one stimulus) pass the previous
 // match's ordinal plus one as minOrd.
 func (tr *Trace) FirstAtOrd(kind Kind, name string, t sim.Time, minOrd int, pred func(int64) bool) (Event, int, bool) {
-	stream := tr.index[traceKey{kind: kind, name: name}]
-	ord := tr.firstOrdAt(stream, t)
+	s := tr.streamOf(kind, name, false)
+	if s == nil {
+		return Event{}, -1, false
+	}
+	ord := tr.firstOrdAt(s.pos, t)
 	if ord < minOrd {
 		ord = minOrd
 	}
-	for ; ord < len(stream); ord++ {
-		e := tr.events[stream[ord]]
+	for ; ord < len(s.pos); ord++ {
+		e := tr.events[s.pos[ord]]
 		if pred == nil || pred(e.Value) {
 			return e, ord, true
 		}
@@ -151,10 +202,12 @@ func (tr *Trace) FirstAtOrd(kind Kind, name string, t sim.Time, minOrd int, pred
 	return Event{}, -1, false
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events. Registered taps are retained: they
+// are wiring, not data.
 func (tr *Trace) Reset() {
 	tr.events = tr.events[:0]
-	tr.index = make(map[traceKey][]int)
+	tr.streams = make(map[traceKey]*stream)
+	tr.last = nil
 }
 
 // String renders the trace, one event per line.

@@ -1,6 +1,7 @@
 package fourvar
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -446,5 +447,123 @@ func TestEventsReturnsCopy(t *testing.T) {
 	evs[0].Value = 99
 	if tr.Events()[0].Value != 1 {
 		t.Fatal("Events must return a copy")
+	}
+}
+
+// naiveTrace is a reference implementation of the Trace queries by linear
+// scan, used to cross-check the incrementally maintained index.
+type naiveTrace struct {
+	events []Event
+}
+
+func (n *naiveTrace) record(kind Kind, name string, value int64, at sim.Time) {
+	n.events = append(n.events, Event{Kind: kind, Name: name, Value: value, At: at})
+}
+
+func (n *naiveTrace) firstAtOrd(kind Kind, name string, t sim.Time, minOrd int, pred func(int64) bool) (Event, int, bool) {
+	ord := 0
+	for _, e := range n.events {
+		if e.Kind != kind || e.Name != name {
+			continue
+		}
+		if e.At >= t && ord >= minOrd && (pred == nil || pred(e.Value)) {
+			return e, ord, true
+		}
+		ord++
+	}
+	return Event{}, -1, false
+}
+
+func (n *naiveTrace) of(kind Kind, name string) []Event {
+	var out []Event
+	for _, e := range n.events {
+		if e.Kind == kind && e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestTraceInterleavedAppendQuery is the regression test for the append
+// path: interleaving Record with FirstAt/FirstAtOrd/Of must return
+// exactly what a linear scan returns — the per-(kind, name) index grows
+// incrementally and is never stale after new events.
+func TestTraceInterleavedAppendQuery(t *testing.T) {
+	tr := NewTrace()
+	ref := &naiveTrace{}
+	rng := sim.NewRand(99)
+	kinds := []Kind{Monitored, Input, Output, Controlled}
+	names := []string{"a", "b", "c"}
+	var now sim.Time
+	for step := 0; step < 2000; step++ {
+		now += sim.Time(rng.Intn(3)) * time.Millisecond
+		kind := kinds[rng.Intn(len(kinds))]
+		name := names[rng.Intn(len(names))]
+		v := int64(rng.Intn(4))
+		tr.Record(kind, name, v, now)
+		ref.record(kind, name, v, now)
+		// Query immediately after every append, mixing stream hits and
+		// misses, time cursors and ordinal floors.
+		qk := kinds[rng.Intn(len(kinds))]
+		qn := names[rng.Intn(len(names))]
+		qt := sim.Time(rng.Intn(int(now/time.Millisecond)+2)) * time.Millisecond
+		minOrd := rng.Intn(4)
+		var pred func(int64) bool
+		if rng.Bool(0.5) {
+			want := int64(rng.Intn(4))
+			pred = func(x int64) bool { return x == want }
+		}
+		ge, go_, gok := tr.FirstAtOrd(qk, qn, qt, minOrd, pred)
+		we, wo, wok := ref.firstAtOrd(qk, qn, qt, minOrd, pred)
+		if gok != wok || ge != we || (gok && go_ != wo) {
+			t.Fatalf("step %d: FirstAtOrd(%v,%q,%v,%d) = (%v,%d,%v), want (%v,%d,%v)",
+				step, qk, qn, qt, minOrd, ge, go_, gok, we, wo, wok)
+		}
+		if !reflect.DeepEqual(tr.Of(qk, qn), ref.of(qk, qn)) {
+			t.Fatalf("step %d: Of(%v,%q) diverges", step, qk, qn)
+		}
+	}
+}
+
+func TestTraceTapStreamsInRecordOrder(t *testing.T) {
+	tr := NewTrace()
+	var seen []Event
+	tr.Tap(func(e Event) { seen = append(seen, e) })
+	tr.Record(Monitored, "m", 1, 5)
+	tr.Record(Controlled, "c", 2, 7)
+	if !reflect.DeepEqual(seen, tr.Events()) {
+		t.Fatalf("tap saw %v, trace holds %v", seen, tr.Events())
+	}
+	// Taps survive Reset: they are wiring, not data.
+	tr.Reset()
+	tr.Record(Input, "i", 3, 9)
+	if len(seen) != 3 || seen[2].Name != "i" {
+		t.Fatalf("tap should survive Reset: %v", seen)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("reset trace should hold one event, has %d", tr.Len())
+	}
+}
+
+func TestTraceTapNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil tap must panic")
+		}
+	}()
+	NewTrace().Tap(nil)
+}
+
+// BenchmarkTraceInterleavedAppendQuery exercises the pattern the online
+// monitor produces — every append followed by a query — which stays fast
+// only while the index updates incrementally.
+func BenchmarkTraceInterleavedAppendQuery(b *testing.B) {
+	tr := NewTrace()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i) * time.Microsecond
+		tr.Record(Controlled, "sig", int64(i&1), at)
+		if _, ok := tr.FirstAt(Controlled, "sig", at/2, nil); !ok {
+			b.Fatal("query missed")
+		}
 	}
 }

@@ -115,3 +115,102 @@ func TestJitterDeterministic(t *testing.T) {
 		t.Fatalf("jitter not deterministic: %v vs %v", a, b)
 	}
 }
+
+// jitterLatches runs a polled sensor through a scripted signal under an
+// InjectJitter fault and returns the latch instants of each change.
+func jitterLatches(t *testing.T, seed uint64) []sim.Time {
+	t.Helper()
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s := b.Sensor("s")
+	s.InjectJitter(0, time.Hour, 8*ms, seed)
+	var latches []sim.Time
+	for i, at := range []sim.Time{20 * ms, 60 * ms, 110 * ms} {
+		v := int64(1 - i%2) // alternate 1,0,1 so every edge changes the latch
+		e.SetAt(at, "sig", v)
+		prev := s.LatchedAt()
+		for k.Now() < at+30*ms && s.LatchedAt() == prev {
+			if !k.Step() {
+				break
+			}
+		}
+		if s.Read() != v {
+			t.Fatalf("latch %d: got %d want %d", i, s.Read(), v)
+		}
+		latches = append(latches, s.LatchedAt())
+		// Bounded: the latch may trail the change by at most one sample
+		// period plus the jitter bound.
+		if d := s.LatchedAt() - at; d < 0 || d > 5*ms+8*ms {
+			t.Fatalf("latch %d delay %v out of [0, period+max]", i, d)
+		}
+	}
+	return latches
+}
+
+func TestInjectJitterDeterministicAndBounded(t *testing.T) {
+	a := jitterLatches(t, 7)
+	b := jitterLatches(t, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must reproduce latch instants: %v vs %v", a, b)
+		}
+	}
+	c := jitterLatches(t, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds should perturb differently: %v", a)
+	}
+}
+
+func TestInjectJitterWindowBounded(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s := b.Sensor("s")
+	s.InjectJitter(100*ms, 50*ms, 20*ms, 1)
+	// Outside the window the latch lands on the next sample instant.
+	e.SetAt(22*ms, "sig", 1)
+	k.Run(30 * ms)
+	if s.Read() != 1 || s.LatchedAt() != 25*ms {
+		t.Fatalf("pre-window latch perturbed: v=%d at=%v", s.Read(), s.LatchedAt())
+	}
+	e.SetAt(200*ms, "sig", 0)
+	k.Run(230 * ms)
+	if s.Read() != 0 || s.LatchedAt() != 200*ms {
+		t.Fatalf("post-window latch perturbed: v=%d at=%v", s.Read(), s.LatchedAt())
+	}
+}
+
+func TestInjectJitterStaleCommitSuperseded(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 0}}, // interrupt-driven
+	})
+	s := b.Sensor("s")
+	s.InjectJitter(0, time.Hour, 10*ms, 5)
+	// Two rapid edges: whichever commit lands last chronologically, the
+	// sensor must end up holding the newest physical value.
+	e.SetAt(10*ms, "sig", 1)
+	e.SetAt(11*ms, "sig", 0)
+	k.Run(100 * ms)
+	if s.Read() != 0 {
+		t.Fatalf("stale commit overwrote newer reading: %d", s.Read())
+	}
+}
+
+func TestInjectJitterRejectsNonPositiveBound(t *testing.T) {
+	_, _, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InjectJitter with max<=0 must panic")
+		}
+	}()
+	b.Sensor("s").InjectJitter(0, time.Hour, 0, 1)
+}

@@ -62,6 +62,15 @@ type Sensor struct {
 	stuckUntil sim.Time
 	stuckValue int64
 	stuck      bool
+	// jitter fault injection: while the window is active every latch
+	// commit is deferred by a bounded pseudo-random delay.
+	jitFrom    sim.Time
+	jitTo      sim.Time
+	jitMax     sim.Time
+	jitRng     *sim.Rand
+	jitSeq     uint64 // commits issued
+	jitApplied uint64 // highest commit that reached the latch
+	jitPending int64  // value of the newest in-flight commit
 }
 
 // Name returns the sensor name.
@@ -91,13 +100,78 @@ func (s *Sensor) InjectStuck(from, duration sim.Time, value int64) {
 		s.stuck = true
 		s.stuckUntil = from + duration
 		s.stuckValue = value
+		s.jitApplied = s.jitSeq // a forced latch supersedes in-flight commits
 		s.latched = value
 		s.latchedAt = k.Now()
 	})
 	k.At(from+duration, func() {
 		s.stuck = false
 		// Resample the physical signal immediately.
+		s.jitApplied = s.jitSeq
 		if v := s.env.Get(s.cfg.Signal); s.latched != v {
+			s.latched = v
+			s.latchedAt = k.Now()
+		}
+	})
+}
+
+// InjectJitter perturbs the sensor's sample latency from instant `from`
+// for `duration`: every latch commit in the window lands after an extra
+// pseudo-random delay in [0, max] — a degraded ISR, a saturated bus, or
+// scheme-3-style scheduling interference at the input device. The stream
+// is seeded, so a given (seed, schedule) pair perturbs identically on
+// every run; testing layers rely on that determinism. Delayed commits can
+// overtake one another; the device keeps the newest reading (a stale
+// conversion result never overwrites a fresher one).
+func (s *Sensor) InjectJitter(from, duration, max sim.Time, seed uint64) {
+	if max <= 0 {
+		panic(fmt.Sprintf("hw: InjectJitter with non-positive bound %v", max))
+	}
+	s.jitFrom = from
+	s.jitTo = from + duration
+	s.jitMax = max
+	s.jitRng = sim.NewRand(seed | 1)
+}
+
+func (s *Sensor) jittering(now sim.Time) bool {
+	return s.jitTo > s.jitFrom && now >= s.jitFrom && now < s.jitTo
+}
+
+// newestVal is the value the latch will eventually hold: the newest
+// in-flight commit if one is pending, the latch otherwise. Edge
+// detection compares against it so a deferred commit does not hide a
+// subsequent edge.
+func (s *Sensor) newestVal() int64 {
+	if s.jitSeq > s.jitApplied {
+		return s.jitPending
+	}
+	return s.latched
+}
+
+// commit latches v — immediately in normal operation, after the bounded
+// random delay while a jitter fault is active.
+func (s *Sensor) commit(v int64) {
+	k := s.env.Kernel()
+	if !s.jittering(k.Now()) {
+		s.jitApplied = s.jitSeq // direct latch supersedes in-flight commits
+		if s.latched != v {
+			s.latched = v
+			s.latchedAt = k.Now()
+		}
+		return
+	}
+	s.jitSeq++
+	seq := s.jitSeq
+	s.jitPending = v
+	k.After(s.jitRng.Duration(0, s.jitMax), func() {
+		if seq <= s.jitApplied {
+			return // a newer commit already reached the latch
+		}
+		s.jitApplied = seq
+		if s.stuck {
+			return
+		}
+		if s.latched != v {
 			s.latched = v
 			s.latchedAt = k.Now()
 		}
@@ -106,7 +180,6 @@ func (s *Sensor) InjectStuck(from, duration sim.Time, value int64) {
 
 // sample is one sampling-routine invocation.
 func (s *Sensor) sample() {
-	k := s.env.Kernel()
 	s.samples++
 	if s.stuck {
 		return
@@ -114,9 +187,8 @@ func (s *Sensor) sample() {
 	v := s.env.Get(s.cfg.Signal)
 	need := s.cfg.Debounce
 	if need <= 1 {
-		if s.latched != v {
-			s.latched = v
-			s.latchedAt = k.Now()
+		if s.newestVal() != v {
+			s.commit(v)
 		}
 		return
 	}
@@ -128,9 +200,8 @@ func (s *Sensor) sample() {
 	if s.stable < need {
 		s.stable++
 	}
-	if s.stable >= need && s.latched != v {
-		s.latched = v
-		s.latchedAt = k.Now()
+	if s.stable >= need && s.newestVal() != v {
+		s.commit(v)
 	}
 }
 
@@ -141,11 +212,10 @@ func (s *Sensor) start() {
 	if s.cfg.SamplePeriod <= 0 {
 		// Interrupt-driven: latch on every signal change.
 		s.env.Watch(s.cfg.Signal, func(_ string, _, now int64, at sim.Time) {
-			if s.stuck || s.latched == now {
+			if s.stuck || s.newestVal() == now {
 				return
 			}
-			s.latched = now
-			s.latchedAt = at
+			s.commit(now)
 		})
 		return
 	}

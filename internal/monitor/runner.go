@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"rmtest/internal/core"
+	"rmtest/internal/platform"
+)
+
+// Runner executes R- and M-testing with streaming verdict extraction: the
+// online counterpart of core.Runner. It wraps a post-hoc runner so system
+// assembly, stimulus scheduling and the Prepare hook are byte-for-byte the
+// run core.Runner would execute; only verdict extraction differs — and is
+// asserted not to.
+type Runner struct {
+	// Post owns system setup and the M-level segment annotation.
+	Post *core.Runner
+	// EarlyStop cuts each kernel run short once every sample is decided.
+	// Verdicts are identical either way; only simulated work differs.
+	EarlyStop bool
+}
+
+// NewRunner validates the requirement and returns an online runner.
+func NewRunner(factory core.SystemFactory, req core.Requirement) (*Runner, error) {
+	post, err := core.NewRunner(factory, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Post: post}, nil
+}
+
+// run executes one monitored run at the given instrumentation level and
+// returns the system (still live — caller must Shutdown) plus the
+// flushed monitor.
+func (r *Runner) run(level platform.Instrument, tc core.TestCase) (*platform.System, *Monitor, error) {
+	mon, err := New(r.Post.Req, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := r.Post.Setup(level, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	mon.Attach(sys, r.EarlyStop)
+	horizon := tc.Horizon(r.Post.Req)
+	kernelBefore := sys.Kernel.EventsFired()
+	sys.Run(horizon)
+	mon.Flush(sys.Kernel.Now())
+	mon.stats.StoppedAt = sys.Kernel.Now()
+	mon.stats.StoppedEarly = sys.Kernel.Now() < horizon
+	mon.stats.KernelEvents = sys.Kernel.EventsFired() - kernelBefore
+	mon.stats.Label = sys.SchemeName() + "/" + level.String()
+	return sys, mon, nil
+}
+
+// RunR executes R-testing with streaming verdicts. The returned RResult
+// is value-identical to core.Runner.RunR on the same test case.
+func (r *Runner) RunR(tc core.TestCase) (core.RResult, Stats, error) {
+	sys, mon, err := r.run(platform.RLevel, tc)
+	if err != nil {
+		return core.RResult{}, Stats{}, err
+	}
+	defer sys.Shutdown()
+	return core.RResult{
+		Requirement: r.Post.Req,
+		Scheme:      sys.SchemeName(),
+		Case:        tc,
+		Samples:     mon.Results(),
+	}, mon.Stats(), nil
+}
+
+// RunM executes M-testing with streaming base verdicts; the delay-segment
+// annotation reuses core.Runner.AnnotateM over the recorded trace, so the
+// MResult is value-identical to the post-hoc path. An early-stopped run
+// annotates from the truncated trace, which is safe: the deadline-bounded
+// chain matching only needs events up to the last decision instant.
+func (r *Runner) RunM(tc core.TestCase) (core.MResult, Stats, error) {
+	sys, mon, err := r.run(platform.MLevel, tc)
+	if err != nil {
+		return core.MResult{}, Stats{}, err
+	}
+	defer sys.Shutdown()
+	return r.Post.AnnotateM(sys, tc, mon.Results()), mon.Stats(), nil
+}
+
+// RunRM performs the paper's layered flow online: streaming R-testing
+// first, then — on violation or when forced — streaming M-testing with
+// diagnosis, mirroring core.Runner.RunRM.
+func (r *Runner) RunRM(tc core.TestCase, force bool) (core.Report, []Stats, error) {
+	rres, rstats, err := r.RunR(tc)
+	if err != nil {
+		return core.Report{}, nil, err
+	}
+	rep := core.Report{R: rres}
+	stats := []Stats{rstats}
+	if rres.Passed() && !force {
+		return rep, stats, nil
+	}
+	mres, mstats, err := r.RunM(tc)
+	if err != nil {
+		return rep, stats, err
+	}
+	rep.M = &mres
+	rep.Diagnosis = core.Diagnose(mres)
+	return rep, append(stats, mstats), nil
+}

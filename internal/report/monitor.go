@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rmtest/internal/monitor"
+)
+
+// MonitorStats renders the online monitor's observability counters, one
+// row per monitored run: how many events the monitor consumed, its peak
+// in-flight machine count (the memory high-water mark), and how much of
+// the horizon early termination saved.
+func MonitorStats(stats []monitor.Stats) string {
+	if len(stats) == 0 {
+		return "(no monitor stats)\n"
+	}
+	var b strings.Builder
+	b.WriteString("ONLINE MONITOR. Streaming verdicts: events consumed, peak in-flight machines, early termination\n\n")
+	fmt.Fprintf(&b, "%-14s %-8s %8s %8s %10s %12s %12s %8s\n",
+		"run", "req", "samples", "events", "in-flight", "stopped(ms)", "horizon(ms)", "saved")
+	b.WriteString(strings.Repeat("-", 86))
+	b.WriteByte('\n')
+	for _, s := range stats {
+		saved := "-"
+		if s.StoppedEarly && s.Horizon > 0 {
+			saved = fmt.Sprintf("%.1f%%", 100*float64(s.Horizon-s.StoppedAt)/float64(s.Horizon))
+		}
+		fmt.Fprintf(&b, "%-14s %-8s %8d %8d %10d %12s %12s %8s\n",
+			s.Label, s.Requirement, s.Samples, s.Events, s.PeakInFlight,
+			msStr(s.StoppedAt), msStr(s.Horizon), saved)
+	}
+	var dec int
+	for _, s := range stats {
+		for _, at := range s.DecidedAt {
+			if at > 0 {
+				dec++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\n%d runs, %d decided samples\n", len(stats), dec)
+	return b.String()
+}

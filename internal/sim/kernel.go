@@ -97,6 +97,7 @@ type Kernel struct {
 	stopped   bool
 	fired     uint64
 	atInstant int
+	stopConds []func() bool
 }
 
 // New returns a fresh kernel with the clock at zero.
@@ -164,6 +165,31 @@ func (k *Kernel) Step() bool {
 // completes. It may be called from inside an event callback.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// StopWhen registers a stop condition: during Run (and RunUntilIdle) the
+// condition is evaluated after every fired event, and as soon as it
+// reports true the run is cut short, leaving the clock at the instant of
+// the deciding event. Conditions persist across Run calls and there is no
+// way to deregister one — they belong to run-scoped observers (the online
+// monitor subsystem) that own the kernel for one simulation. Multiple
+// conditions stop the run when any one of them holds, so a group of
+// observers that must all agree registers a single aggregate condition.
+func (k *Kernel) StopWhen(cond func() bool) {
+	if cond == nil {
+		panic("sim: StopWhen with nil condition")
+	}
+	k.stopConds = append(k.stopConds, cond)
+}
+
+// shouldStop evaluates the registered stop conditions.
+func (k *Kernel) shouldStop() bool {
+	for _, cond := range k.stopConds {
+		if cond() {
+			return true
+		}
+	}
+	return false
+}
+
 // Run fires events until the queue is empty, Stop is called, or the next
 // event lies strictly beyond horizon. The clock never exceeds horizon: if
 // the queue drains (or Run stops at a later event) the clock is advanced to
@@ -180,6 +206,9 @@ func (k *Kernel) Run(horizon Time) {
 			break
 		}
 		k.Step()
+		if len(k.stopConds) > 0 && k.shouldStop() {
+			k.stopped = true
+		}
 	}
 	if !k.stopped && k.now < horizon {
 		k.now = horizon
@@ -192,6 +221,9 @@ func (k *Kernel) Run(horizon Time) {
 func (k *Kernel) RunUntilIdle() {
 	k.stopped = false
 	for !k.stopped && k.Step() {
+		if len(k.stopConds) > 0 && k.shouldStop() {
+			k.stopped = true
+		}
 	}
 }
 

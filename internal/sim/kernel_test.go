@@ -342,3 +342,84 @@ func TestEventAtAccessor(t *testing.T) {
 		t.Fatalf("At()=%v", e.At())
 	}
 }
+
+func TestStopWhenHaltsAtDecidingEvent(t *testing.T) {
+	k := New()
+	var hits []Time
+	decided := false
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.At(at, func() {
+			hits = append(hits, at)
+			if at == 20 {
+				decided = true
+			}
+		})
+	}
+	k.StopWhen(func() bool { return decided })
+	k.Run(100)
+	if len(hits) != 2 || hits[1] != 20 {
+		t.Fatalf("run should halt after the deciding event: %v", hits)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("clock should stay at the decision instant, got %v", k.Now())
+	}
+	// The remaining events are still queued; a later run resumes unless
+	// the condition still holds.
+	decided = false
+	k.Run(100)
+	if len(hits) != 4 || k.Now() != 100 {
+		t.Fatalf("resumed run should finish: hits=%v now=%v", hits, k.Now())
+	}
+}
+
+func TestStopWhenPersistsAcrossRuns(t *testing.T) {
+	k := New()
+	stop := false
+	k.StopWhen(func() bool { return stop })
+	k.At(5, func() { stop = true })
+	k.At(6, func() { t.Fatal("event past the stop must not fire") })
+	k.Run(10)
+	if k.Now() != 5 {
+		t.Fatalf("now=%v", k.Now())
+	}
+}
+
+func TestStopWhenAnyConditionStops(t *testing.T) {
+	k := New()
+	a, b := false, false
+	k.StopWhen(func() bool { return a })
+	k.StopWhen(func() bool { return b })
+	fired := 0
+	k.At(1, func() { fired++; b = true })
+	k.At(2, func() { fired++ })
+	k.Run(10)
+	if fired != 1 {
+		t.Fatalf("second condition should have stopped the run: fired=%d", fired)
+	}
+}
+
+func TestStopWhenRunUntilIdle(t *testing.T) {
+	k := New()
+	n := 0
+	k.StopWhen(func() bool { return n >= 3 })
+	var rearm func()
+	rearm = func() {
+		n++
+		k.After(1, rearm)
+	}
+	k.After(1, rearm)
+	k.RunUntilIdle() // would loop forever without the stop condition
+	if n != 3 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestStopWhenNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil condition must panic")
+		}
+	}()
+	New().StopWhen(nil)
+}
