@@ -202,6 +202,67 @@ func BenchmarkAblationPeriodSweep(b *testing.B) {
 
 // --- Substrate micro-benchmarks --------------------------------------
 
+// BenchmarkKernelScheduleFire measures pure event-queue throughput: one
+// schedule plus one fire per op against a standing population of 256
+// pending events, so every push and pop traverses a realistic heap
+// depth. This is the benchmark the kernel's queue/pool trajectory is
+// tracked with (BENCH_kernel.json; see EXPERIMENTS.md).
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := sim.New()
+	fn := func() {}
+	// Standing events parked far beyond the benchmark's virtual horizon:
+	// they keep the heap deep without ever firing.
+	for i := 0; i < 256; i++ {
+		k.At(1000*time.Hour+time.Duration(i)*time.Millisecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelCancel measures the schedule-then-cancel path (timeout
+// watchdogs that almost never fire — the online monitor's steady state).
+func BenchmarkKernelCancel(b *testing.B) {
+	k := sim.New()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		k.At(1000*time.Hour+time.Duration(i)*time.Millisecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := k.After(time.Millisecond, fn)
+		e.Cancel()
+	}
+}
+
+// BenchmarkTraceRecordQuery measures the fourvar.Trace hot mix the
+// verdict loops produce: streaming appends across four streams with an
+// indexed FirstAt query every fourth event, and a periodic Reset as the
+// campaign scratch reuse performs between runs.
+func BenchmarkTraceRecordQuery(b *testing.B) {
+	tr := fourvar.NewTrace()
+	names := [4]string{"btn", "i_Btn", "o_Motor", "motor"}
+	pred := func(v int64) bool { return v >= 0 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	var at sim.Time
+	for i := 0; i < b.N; i++ {
+		if i%(1<<14) == 0 {
+			tr.Reset()
+			at = 0
+		}
+		at += sim.Time(i%3) * time.Microsecond
+		tr.Record(fourvar.Kind(i%4), names[i%4], int64(i&1), at)
+		if i%4 == 3 {
+			tr.FirstAt(fourvar.Controlled, "motor", at/2, pred)
+		}
+	}
+}
+
 // BenchmarkSimKernelEvent measures raw discrete-event dispatch.
 func BenchmarkSimKernelEvent(b *testing.B) {
 	k := sim.New()
@@ -356,6 +417,9 @@ func BenchmarkCampaignTableI(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				reports, err := rmtest.TableIExperiment(rmtest.TableIOptions{
 					Samples: 10, Seed: 42, ForceM: true, Workers: workers,
@@ -365,6 +429,12 @@ func BenchmarkCampaignTableI(b *testing.B) {
 				}
 				_ = reports
 			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			// Each iteration executes 6 campaign runs (3 R + 3 forced M);
+			// allocs/run is the GC-churn metric the scratch reuse targets.
+			const runsPerIter = 6
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*runsPerIter), "allocs/run")
 		})
 	}
 }

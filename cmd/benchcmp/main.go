@@ -1,0 +1,202 @@
+// Command benchcmp records and compares benchmark trajectories.
+//
+// It has two modes:
+//
+//	go test -bench ... -benchmem -run XXX . | go run ./cmd/benchcmp -record BENCH_kernel.json
+//	go run ./cmd/benchcmp BENCH_old.json BENCH_new.json
+//
+// Record mode parses `go test -bench` text output from stdin into a
+// stable JSON trajectory file. Compare mode prints per-benchmark deltas
+// (benchstat-style, without the statistics) and exits non-zero when a
+// regression exceeds the thresholds. Because ns/op is host-dependent
+// while allocs/op is deterministic, the default policy fails only on
+// allocation regressions; pass -max-ns-regress to also gate on time.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded numbers.
+type Result struct {
+	Name     string             `json:"name"`
+	N        int64              `json:"n"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BPerOp   float64            `json:"b_per_op,omitempty"`
+	AllocsOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the trajectory file layout.
+type File struct {
+	// Note describes what the numbers are a baseline of.
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkKernelScheduleFire-8   5000000   250.3 ns/op   16 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseBench(r *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		res := Result{Name: m[1], N: n}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: bad value %q in %q", fields[i], r.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BPerOp = val
+			case "allocs/op":
+				res.AllocsOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		out = append(out, res)
+	}
+	return out, r.Err()
+}
+
+func record(path, note string) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parseBench(sc)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchcmp: no benchmark lines on stdin")
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	data, err := json.MarshalIndent(File{Note: note, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %v", path, err)
+	}
+	out := make(map[string]Result, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+// delta returns the relative change new-vs-old in percent; +x%% is a
+// regression for cost metrics.
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func compare(oldPath, newPath string, maxAllocRegress, maxNsRegress float64) (failed bool, err error) {
+	oldR, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(newR))
+	for name := range newR {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w := os.Stdout
+	fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "benchmark", "old", "new", "delta")
+	for _, name := range names {
+		n := newR[name]
+		o, ok := oldR[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.4g %9s\n", name+" [ns/op]", "-", n.NsPerOp, "new")
+			continue
+		}
+		rows := []struct {
+			unit     string
+			o, n     float64
+			maxDelta float64 // <0 disables gating
+		}{
+			{"ns/op", o.NsPerOp, n.NsPerOp, maxNsRegress},
+			{"B/op", o.BPerOp, n.BPerOp, -1},
+			{"allocs/op", o.AllocsOp, n.AllocsOp, maxAllocRegress},
+		}
+		for _, row := range rows {
+			d := delta(row.o, row.n)
+			mark := ""
+			if row.maxDelta >= 0 && d > row.maxDelta {
+				mark = "  REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(w, "%-60s %14.4g %14.4g %+8.1f%%%s\n",
+				name+" ["+row.unit+"]", row.o, row.n, d, mark)
+		}
+	}
+	return failed, nil
+}
+
+func main() {
+	recordPath := flag.String("record", "", "parse `go test -bench` output from stdin and write this JSON file")
+	note := flag.String("note", "", "note stored in the recorded file")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 5, "fail when allocs/op regresses more than this percentage (negative disables)")
+	maxNsRegress := flag.Float64("max-ns-regress", -1, "fail when ns/op regresses more than this percentage (negative disables; host-dependent)")
+	flag.Parse()
+
+	if *recordPath != "" {
+		if err := record(*recordPath, *note); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -record out.json < bench.txt | benchcmp old.json new.json")
+		os.Exit(2)
+	}
+	failed, err := compare(flag.Arg(0), flag.Arg(1), *maxAllocRegress, *maxNsRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

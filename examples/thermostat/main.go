@@ -73,10 +73,10 @@ func main() {
 	sys.Run(60 * time.Second)
 
 	// Survey the oscillation.
-	temps := sys.Trace.Of(fourvar.Controlled, "sig_heater")
+	switches := sys.Trace.CountOf(fourvar.Controlled, "sig_heater")
 	fmt.Printf("heater switched %d times over %v; final temp %.1f deg\n",
-		len(temps), sys.Kernel.Now(), float64(e.Get("sig_temp"))/10)
-	if len(temps) < 4 {
+		switches, sys.Kernel.Now(), float64(e.Get("sig_temp"))/10)
+	if switches < 4 {
 		log.Fatal("thermostat failed to oscillate")
 	}
 
@@ -86,7 +86,7 @@ func main() {
 	crossings := 0
 	violations := 0
 	var worst time.Duration
-	for _, ev := range sys.Trace.Of(fourvar.Monitored, "sig_temp") {
+	for ev := range sys.Trace.OfSeq(fourvar.Monitored, "sig_temp") {
 		if ev.Value != 194 { // first sample below the threshold
 			continue
 		}

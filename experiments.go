@@ -91,10 +91,17 @@ func tableI(opt TableIOptions) ([]Report, []monitor.Stats, error) {
 		func() platform.Scheme { return platform.DefaultScheme2() },
 		func() platform.Scheme { return platform.DefaultScheme3() },
 	}
+	// Compile the chart once; workers share the immutable program and
+	// recycle their own kernel/trace scratch between runs.
+	pb, err := gpca.Precompile()
+	if err != nil {
+		return nil, nil, err
+	}
+	newScratch := func() *platform.Scratch { return &platform.Scratch{} }
 	cfg := campaign.Config{Workers: opt.Workers, Seed: opt.Seed, OnProgress: opt.Progress}
-	rres, err := campaign.Values(campaign.Map(cfg, len(schemes), func(run campaign.Run) (tableIRun[core.RResult], error) {
+	rres, err := campaign.Values(campaign.MapScratch(cfg, len(schemes), newScratch, func(run campaign.Run, sc *platform.Scratch) (tableIRun[core.RResult], error) {
 		if opt.Online {
-			runner, err := monitor.NewRunner(gpca.Factory(schemes[run.Index]), req)
+			runner, err := monitor.NewRunner(gpca.FactoryPrebuilt(pb, schemes[run.Index], sc), req)
 			if err != nil {
 				return tableIRun[core.RResult]{}, err
 			}
@@ -102,7 +109,7 @@ func tableI(opt TableIOptions) ([]Report, []monitor.Stats, error) {
 			rr, st, err := runner.RunR(tc)
 			return tableIRun[core.RResult]{res: rr, stats: st}, err
 		}
-		runner, err := core.NewRunner(gpca.Factory(schemes[run.Index]), req)
+		runner, err := core.NewRunner(gpca.FactoryPrebuilt(pb, schemes[run.Index], sc), req)
 		if err != nil {
 			return tableIRun[core.RResult]{}, err
 		}
@@ -124,9 +131,9 @@ func tableI(opt TableIOptions) ([]Report, []monitor.Stats, error) {
 			needM = append(needM, i)
 		}
 	}
-	mres, err := campaign.Values(campaign.Map(cfg, len(needM), func(run campaign.Run) (tableIRun[core.MResult], error) {
+	mres, err := campaign.Values(campaign.MapScratch(cfg, len(needM), newScratch, func(run campaign.Run, sc *platform.Scratch) (tableIRun[core.MResult], error) {
 		if opt.Online {
-			runner, err := monitor.NewRunner(gpca.Factory(schemes[needM[run.Index]]), req)
+			runner, err := monitor.NewRunner(gpca.FactoryPrebuilt(pb, schemes[needM[run.Index]], sc), req)
 			if err != nil {
 				return tableIRun[core.MResult]{}, err
 			}
@@ -134,7 +141,7 @@ func tableI(opt TableIOptions) ([]Report, []monitor.Stats, error) {
 			mr, st, err := runner.RunM(tc)
 			return tableIRun[core.MResult]{res: mr, stats: st}, err
 		}
-		runner, err := core.NewRunner(gpca.Factory(schemes[needM[run.Index]]), req)
+		runner, err := core.NewRunner(gpca.FactoryPrebuilt(pb, schemes[needM[run.Index]], sc), req)
 		if err != nil {
 			return tableIRun[core.MResult]{}, err
 		}
@@ -406,9 +413,11 @@ func matrixUnits() []matrixUnit {
 
 // matrixRunner builds the post-hoc runner and test case for one matrix
 // unit — shared verbatim by the post-hoc and online paths, so both
-// execute the same simulation.
-func matrixRunner(u matrixUnit, samples int, seed uint64) (*core.Runner, core.TestCase, error) {
-	runner, err := core.NewRunner(gpca.Factory(u.mk), u.req)
+// execute the same simulation. factory decides how systems are built:
+// the campaign passes a prebuilt-program factory with worker scratch,
+// standalone callers pass gpca.Factory(u.mk).
+func matrixRunner(u matrixUnit, factory core.SystemFactory, samples int, seed uint64) (*core.Runner, core.TestCase, error) {
+	runner, err := core.NewRunner(factory, u.req)
 	if err != nil {
 		return nil, core.TestCase{}, err
 	}
@@ -474,30 +483,36 @@ func requirementsMatrix(samples int, seed uint64, workers int, online bool) ([]M
 		samples = 5
 	}
 	units := matrixUnits()
+	pb, err := gpca.Precompile()
+	if err != nil {
+		return nil, nil, err
+	}
 	cfg := campaign.Config{Workers: workers, Seed: seed}
-	outs, err := campaign.Values(campaign.Map(cfg, len(units), func(run campaign.Run) (tableIRun[MatrixCell], error) {
-		u := units[run.Index]
-		runner, tc, err := matrixRunner(u, samples, seed)
-		if err != nil {
-			return tableIRun[MatrixCell]{}, err
-		}
-		if online {
-			on := &monitor.Runner{Post: runner, EarlyStop: true}
-			res, st, err := on.RunR(tc)
+	outs, err := campaign.Values(campaign.MapScratch(cfg, len(units),
+		func() *platform.Scratch { return &platform.Scratch{} },
+		func(run campaign.Run, sc *platform.Scratch) (tableIRun[MatrixCell], error) {
+			u := units[run.Index]
+			runner, tc, err := matrixRunner(u, gpca.FactoryPrebuilt(pb, u.mk, sc), samples, seed)
 			if err != nil {
 				return tableIRun[MatrixCell]{}, err
 			}
-			return tableIRun[MatrixCell]{
-				res:   tallyCell(u.req.ID, res.Scheme, res.Samples),
-				stats: st,
-			}, nil
-		}
-		res, err := runner.RunR(tc)
-		if err != nil {
-			return tableIRun[MatrixCell]{}, err
-		}
-		return tableIRun[MatrixCell]{res: tallyCell(u.req.ID, res.Scheme, res.Samples)}, nil
-	}))
+			if online {
+				on := &monitor.Runner{Post: runner, EarlyStop: true}
+				res, st, err := on.RunR(tc)
+				if err != nil {
+					return tableIRun[MatrixCell]{}, err
+				}
+				return tableIRun[MatrixCell]{
+					res:   tallyCell(u.req.ID, res.Scheme, res.Samples),
+					stats: st,
+				}, nil
+			}
+			res, err := runner.RunR(tc)
+			if err != nil {
+				return tableIRun[MatrixCell]{}, err
+			}
+			return tableIRun[MatrixCell]{res: tallyCell(u.req.ID, res.Scheme, res.Samples)}, nil
+		}))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -541,37 +556,43 @@ func AblationPeriodSweep(periods []sim.Time, samples int, seed uint64, workers i
 	if err != nil {
 		return nil, err
 	}
+	pb, err := gpca.Precompile()
+	if err != nil {
+		return nil, err
+	}
 	cfg := campaign.Config{Workers: workers, Seed: seed}
-	return campaign.Values(campaign.Map(cfg, len(periods), func(run campaign.Run) (SweepPoint, error) {
-		period := periods[run.Index]
-		factory := func(level platform.Instrument) (*platform.System, error) {
-			s := platform.DefaultScheme2()
-			s.CodePeriod = period
-			return platform.NewSystem(gpca.PlatformConfig(), s, level)
-		}
-		runner, err := core.NewRunner(factory, req)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		mres, err := runner.RunM(tc)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		agg := core.NewSegmentStats(mres)
-		pass := 0
-		for _, s := range mres.Samples {
-			if s.Verdict == core.Pass {
-				pass++
+	return campaign.Values(campaign.MapScratch(cfg, len(periods),
+		func() *platform.Scratch { return &platform.Scratch{} },
+		func(run campaign.Run, sc *platform.Scratch) (SweepPoint, error) {
+			period := periods[run.Index]
+			factory := func(level platform.Instrument) (*platform.System, error) {
+				s := platform.DefaultScheme2()
+				s.CodePeriod = period
+				return pb.NewSystem(s, level, sc)
 			}
-		}
-		return SweepPoint{
-			Label:      fmt.Sprintf("code=%v", period),
-			CodePeriod: period,
-			MeanInput:  agg.Input.Mean,
-			MeanCode:   agg.Code.Mean,
-			MeanOutput: agg.Output.Mean,
-			MeanTotal:  agg.Total.Mean,
-			PassRate:   float64(pass) / float64(len(mres.Samples)),
-		}, nil
-	}))
+			runner, err := core.NewRunner(factory, req)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			mres, err := runner.RunM(tc)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			agg := core.NewSegmentStats(mres)
+			pass := 0
+			for _, s := range mres.Samples {
+				if s.Verdict == core.Pass {
+					pass++
+				}
+			}
+			return SweepPoint{
+				Label:      fmt.Sprintf("code=%v", period),
+				CodePeriod: period,
+				MeanInput:  agg.Input.Mean,
+				MeanCode:   agg.Code.Mean,
+				MeanOutput: agg.Output.Mean,
+				MeanTotal:  agg.Total.Mean,
+				PassRate:   float64(pass) / float64(len(mres.Samples)),
+			}, nil
+		}))
 }

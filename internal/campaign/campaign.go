@@ -106,6 +106,23 @@ func Seeds(campaign uint64, n int) []uint64 {
 // function of its Run (plus immutable captured inputs); under that
 // contract the returned slice is bit-identical for every worker count.
 func Map[T any](cfg Config, n int, fn func(Run) (T, error)) []Outcome[T] {
+	return MapScratch(cfg, n,
+		func() struct{} { return struct{}{} },
+		func(r Run, _ struct{}) (T, error) { return fn(r) })
+}
+
+// MapScratch is Map with per-worker scratch state: each worker calls
+// newScratch once and threads the same scratch value through every run
+// it executes, so fn can reuse expensive run-local machinery (a
+// simulation kernel, trace buffers) without reallocating per run.
+//
+// The determinism contract extends to scratch: fn must leave no
+// observable run-to-run state in the scratch — reusing it must produce
+// results bit-identical to a fresh scratch per run (reset your buffers).
+// The engine enforces the one hole fn cannot patch itself: when a run
+// panics, the worker's scratch is discarded and rebuilt before the next
+// run, since a panic can abandon the scratch mid-mutation.
+func MapScratch[T, S any](cfg Config, n int, newScratch func() S, fn func(Run, S) (T, error)) []Outcome[T] {
 	outs := make([]Outcome[T], n)
 	seeds := Seeds(cfg.Seed, n)
 	for i := range outs {
@@ -115,17 +132,21 @@ func Map[T any](cfg Config, n int, fn func(Run) (T, error)) []Outcome[T] {
 		return outs
 	}
 	ctr := newCounters(n, cfg.OnProgress)
-	exec := func(i int) {
-		outs[i].Value, outs[i].Err = protect(fn, outs[i].Run)
+	exec := func(i int, scratch S) (panicked bool) {
+		outs[i].Value, outs[i].Err, panicked = protect(fn, outs[i].Run, scratch)
 		ctr.finish(outs[i].Err != nil)
+		return panicked
 	}
 	w := cfg.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		scratch := newScratch()
 		for i := 0; i < n; i++ {
-			exec(i)
+			if exec(i, scratch) {
+				scratch = newScratch()
+			}
 		}
 		return outs
 	}
@@ -135,8 +156,11 @@ func Map[T any](cfg Config, n int, fn func(Run) (T, error)) []Outcome[T] {
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			scratch := newScratch()
 			for i := range jobs {
-				exec(i)
+				if exec(i, scratch) {
+					scratch = newScratch()
+				}
 			}
 		}()
 	}
@@ -150,14 +174,17 @@ func Map[T any](cfg Config, n int, fn func(Run) (T, error)) []Outcome[T] {
 
 // protect invokes fn with panic isolation: a panicking run yields an
 // error carrying the panic value and stack instead of unwinding the
-// worker.
-func protect[T any](fn func(Run) (T, error), r Run) (val T, err error) {
+// worker. The panicked flag tells the worker loop to discard its
+// scratch, which the panic may have left mid-mutation.
+func protect[T, S any](fn func(Run, S) (T, error), r Run, scratch S) (val T, err error, panicked bool) {
 	defer func() {
 		if p := recover(); p != nil {
+			panicked = true
 			err = fmt.Errorf("campaign: run %d (seed %#x) panicked: %v\n%s", r.Index, r.Seed, p, debug.Stack())
 		}
 	}()
-	return fn(r)
+	val, err = fn(r, scratch)
+	return val, err, false
 }
 
 // FirstErr returns the first failure in run order, or nil.

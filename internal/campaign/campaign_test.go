@@ -185,3 +185,80 @@ func TestMapEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// scratchBuf is a reusable per-worker buffer with a reset discipline,
+// standing in for the kernel/trace scratch real campaigns thread through.
+type scratchBuf struct {
+	id   int
+	buf  []uint64
+	used int // runs served by this scratch instance
+}
+
+var scratchSeq atomic.Int64
+
+func newScratchBuf() *scratchBuf {
+	return &scratchBuf{id: int(scratchSeq.Add(1))}
+}
+
+func TestMapScratchDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(r Run, s *scratchBuf) (uint64, error) {
+		s.buf = s.buf[:0] // reset discipline
+		rng := sim.NewRand(r.Seed)
+		for i := 0; i < 16; i++ {
+			s.buf = append(s.buf, rng.Uint64())
+		}
+		var sum uint64
+		for _, v := range s.buf {
+			sum += v
+		}
+		s.used++
+		return sum ^ uint64(r.Index), nil
+	}
+	ref := MapScratch(Config{Workers: 1, Seed: 9}, 40, newScratchBuf, fn)
+	for _, w := range []int{2, 4, 13} {
+		got := MapScratch(Config{Workers: w, Seed: 9}, 40, newScratchBuf, fn)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d run %d: %v != %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapScratchReusedWithinWorker(t *testing.T) {
+	// One worker, n runs: exactly one scratch is built and it serves every
+	// run.
+	before := scratchSeq.Load()
+	outs := MapScratch(Config{Workers: 1}, 10, newScratchBuf,
+		func(r Run, s *scratchBuf) (int, error) { s.used++; return s.used, nil })
+	if built := scratchSeq.Load() - before; built != 1 {
+		t.Fatalf("built %d scratches, want 1", built)
+	}
+	for i, o := range outs {
+		if o.Value != i+1 {
+			t.Fatalf("run %d saw scratch use-count %d, want %d", i, o.Value, i+1)
+		}
+	}
+}
+
+func TestMapScratchDiscardedOnPanic(t *testing.T) {
+	// A panicking run must not leak its (possibly corrupted) scratch into
+	// the next run: the worker rebuilds it.
+	outs := MapScratch(Config{Workers: 1}, 4, newScratchBuf,
+		func(r Run, s *scratchBuf) (int, error) {
+			s.used++
+			if r.Index == 1 {
+				panic("corrupting the scratch")
+			}
+			return s.used, nil
+		})
+	if !outs[1].Failed() {
+		t.Fatal("panicked run must fail")
+	}
+	// Run 0 uses scratch A (used=1); run 1 panics on A; runs 2 and 3 get a
+	// fresh scratch B (used=1, then 2).
+	if outs[0].Value != 1 || outs[2].Value != 1 || outs[3].Value != 2 {
+		t.Fatalf("scratch not rebuilt after panic: %d %d %d",
+			outs[0].Value, outs[2].Value, outs[3].Value)
+	}
+}

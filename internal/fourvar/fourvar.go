@@ -18,6 +18,7 @@ package fourvar
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 
@@ -146,10 +147,30 @@ func (tr *Trace) Record(kind Kind, name string, value int64, at sim.Time) {
 // Len returns the number of recorded events.
 func (tr *Trace) Len() int { return len(tr.events) }
 
-// Events returns a copy of all events.
-func (tr *Trace) Events() []Event { return append([]Event(nil), tr.events...) }
+// Events returns all recorded events as a read-only view of the trace's
+// backing storage — zero-copy. The view is valid until the next Reset;
+// callers must not mutate it. (It used to return a defensive copy; the
+// query paths of the verdict loops made that copy a per-run O(trace)
+// tax for callers that only iterate.)
+func (tr *Trace) Events() []Event { return tr.events }
 
-// Of returns all events of the given kind and name, in time order.
+// All returns a zero-copy iterator over every recorded event in record
+// (hence time) order. Appending to the trace while iterating is safe —
+// the iteration covers the events present when it started.
+func (tr *Trace) All() iter.Seq[Event] {
+	events := tr.events
+	return func(yield func(Event) bool) {
+		for _, e := range events {
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
+
+// Of returns all events of the given kind and name, in time order. The
+// returned slice is freshly allocated (the stream index stores positions,
+// not events); iteration-only callers should prefer the zero-copy OfSeq.
 func (tr *Trace) Of(kind Kind, name string) []Event {
 	s := tr.streamOf(kind, name, false)
 	if s == nil || len(s.pos) == 0 {
@@ -160,6 +181,32 @@ func (tr *Trace) Of(kind Kind, name string) []Event {
 		out[i] = tr.events[pos]
 	}
 	return out
+}
+
+// OfSeq returns a zero-copy iterator over the (kind, name) stream, in
+// time order.
+func (tr *Trace) OfSeq(kind Kind, name string) iter.Seq[Event] {
+	s := tr.streamOf(kind, name, false)
+	return func(yield func(Event) bool) {
+		if s == nil {
+			return
+		}
+		for _, pos := range s.pos {
+			if !yield(tr.events[pos]) {
+				return
+			}
+		}
+	}
+}
+
+// CountOf returns the number of events in the (kind, name) stream
+// without materialising them.
+func (tr *Trace) CountOf(kind Kind, name string) int {
+	s := tr.streamOf(kind, name, false)
+	if s == nil {
+		return 0
+	}
+	return len(s.pos)
 }
 
 // firstOrdAt returns the ordinal (within the stream) of the first event of
@@ -202,13 +249,24 @@ func (tr *Trace) FirstAtOrd(kind Kind, name string, t sim.Time, minOrd int, pred
 	return Event{}, -1, false
 }
 
-// Reset discards all recorded events. Registered taps are retained: they
-// are wiring, not data.
+// Reset discards all recorded events while retaining capacity: the event
+// slice, the stream index map and each stream's position slice are kept
+// and truncated, so a reused trace (the campaign engine's per-worker
+// scratch) records without reallocating. Registered taps are retained:
+// they are wiring, not data. Note that Reset invalidates the contents of
+// previously returned Events() views.
 func (tr *Trace) Reset() {
 	tr.events = tr.events[:0]
-	tr.streams = make(map[traceKey]*stream)
-	tr.last = nil
+	for _, s := range tr.streams {
+		s.pos = s.pos[:0]
+	}
 }
+
+// ClearTaps removes every registered tap. Run-scoped consumers (the
+// online monitor) tap the trace for exactly one run; scratch reuse must
+// drop that wiring before the next run or stale observers would keep
+// consuming — and keep scheduling watchdog events on the reused kernel.
+func (tr *Trace) ClearTaps() { tr.taps = tr.taps[:0] }
 
 // String renders the trace, one event per line.
 func (tr *Trace) String() string {
@@ -282,10 +340,10 @@ func (tt *TransitionTrace) Between(from, to sim.Time) []TransitionDelay {
 	return out
 }
 
-// Reset discards all records.
+// Reset discards all records, retaining capacity for reuse.
 func (tt *TransitionTrace) Reset() {
 	tt.recs = tt.recs[:0]
-	tt.open = make(map[int]sim.Time)
+	clear(tt.open)
 }
 
 // Mapping relates the two abstraction boundaries: which i-event the

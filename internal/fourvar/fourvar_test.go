@@ -440,13 +440,119 @@ func TestTransitionTraceFinishWithoutStart(t *testing.T) {
 	}
 }
 
-func TestEventsReturnsCopy(t *testing.T) {
+func TestEventsZeroCopyView(t *testing.T) {
 	tr := NewTrace()
 	tr.Record(Monitored, "x", 1, ms)
-	evs := tr.Events()
-	evs[0].Value = 99
-	if tr.Events()[0].Value != 1 {
-		t.Fatal("Events must return a copy")
+	tr.Record(Monitored, "x", 2, 2*ms)
+	view := tr.Events()
+	if len(view) != 2 || view[0].Value != 1 || view[1].Value != 2 {
+		t.Fatalf("bad view: %v", view)
+	}
+	// The view aliases the trace's backing storage: no allocation.
+	if avg := testing.AllocsPerRun(100, func() { _ = tr.Events() }); avg != 0 {
+		t.Fatalf("Events allocates %v per call, want 0", avg)
+	}
+}
+
+func TestAllIterator(t *testing.T) {
+	tr := NewTrace()
+	for i := int64(0); i < 10; i++ {
+		tr.Record(Input, "n", i, sim.Time(i+1)*ms)
+	}
+	want := tr.Events()
+	i := 0
+	for e := range tr.All() {
+		if e != want[i] {
+			t.Fatalf("All()[%d] = %v, want %v", i, e, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("All yielded %d events, want %d", i, len(want))
+	}
+	// Early break stops cleanly.
+	n := 0
+	for range tr.All() {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early break yielded %d", n)
+	}
+}
+
+func TestOfSeqAndCountOf(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Monitored, "a", 1, ms)
+	tr.Record(Input, "b", 2, 2*ms)
+	tr.Record(Monitored, "a", 3, 3*ms)
+	want := tr.Of(Monitored, "a")
+	var got []Event
+	for e := range tr.OfSeq(Monitored, "a") {
+		got = append(got, e)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("OfSeq yielded %d, Of returned %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OfSeq[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if tr.CountOf(Monitored, "a") != 2 || tr.CountOf(Input, "b") != 1 {
+		t.Fatal("CountOf miscounted")
+	}
+	if tr.CountOf(Output, "missing") != 0 {
+		t.Fatal("CountOf on absent stream must be 0")
+	}
+	for range tr.OfSeq(Output, "missing") {
+		t.Fatal("OfSeq on absent stream must be empty")
+	}
+}
+
+func TestResetRetainsCapacityAllocFree(t *testing.T) {
+	tr := NewTrace()
+	fill := func() {
+		for i := int64(0); i < 64; i++ {
+			tr.Record(Monitored, "m", i, sim.Time(i+1)*ms)
+			tr.Record(Controlled, "c", i, sim.Time(i+1)*ms)
+		}
+	}
+	fill()
+	tr.Reset()
+	if tr.Len() != 0 || tr.CountOf(Monitored, "m") != 0 {
+		t.Fatal("Reset left events behind")
+	}
+	// Warm: capacity established. Steady-state reset+refill allocates
+	// nothing beyond amortized zero.
+	fill()
+	if avg := testing.AllocsPerRun(100, func() {
+		tr.Reset()
+		fill()
+	}); avg != 0 {
+		t.Fatalf("reset+refill allocates %v per cycle, want 0", avg)
+	}
+}
+
+func TestClearTaps(t *testing.T) {
+	tr := NewTrace()
+	n := 0
+	tr.Tap(func(Event) { n++ })
+	tr.Record(Monitored, "x", 1, ms)
+	if n != 1 {
+		t.Fatal("tap not invoked")
+	}
+	tr.Reset()
+	tr.Record(Monitored, "x", 2, ms)
+	if n != 2 {
+		t.Fatal("Reset must retain taps")
+	}
+	tr.ClearTaps()
+	tr.Record(Monitored, "x", 3, 2*ms)
+	if n != 2 {
+		t.Fatal("ClearTaps must drop taps")
 	}
 }
 

@@ -112,10 +112,28 @@ func PlatformConfig() platform.Config {
 
 // Factory returns a core.SystemFactory that assembles the pump on the
 // given scheme. Each call to the factory builds a fresh deterministic
-// system.
+// system, recompiling the chart every time; campaigns should Precompile
+// once and use FactoryPrebuilt instead.
 func Factory(scheme func() platform.Scheme) core.SystemFactory {
 	return func(level platform.Instrument) (*platform.System, error) {
 		return platform.NewSystem(PlatformConfig(), scheme(), level)
+	}
+}
+
+// Precompile compiles the pump's chart and validates its bindings once;
+// the result is immutable and shareable across concurrent campaign
+// workers.
+func Precompile() (*platform.Prebuilt, error) {
+	return platform.Precompile(PlatformConfig())
+}
+
+// FactoryPrebuilt returns a core.SystemFactory that assembles the pump
+// from the shared precompiled program. scratch may be nil, or one
+// worker's platform.Scratch to recycle the kernel and trace between the
+// sequential runs of that worker.
+func FactoryPrebuilt(pb *platform.Prebuilt, scheme func() platform.Scheme, scratch *platform.Scratch) core.SystemFactory {
+	return func(level platform.Instrument) (*platform.System, error) {
+		return pb.NewSystem(scheme(), level, scratch)
 	}
 }
 

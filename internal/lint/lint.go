@@ -174,9 +174,9 @@ type analysis struct {
 	// value in the interval domain).
 	storedSlots []bool
 
-	childIDs   [][]int                  // lazily built child lists per state
-	guardCache map[int]interval         // guard interval per transition id
-	guardExprs map[int]statechart.Expr  // guard AST per transition id (chart runs only)
+	childIDs   [][]int                 // lazily built child lists per state
+	guardCache map[int]interval        // guard interval per transition id
+	guardExprs map[int]statechart.Expr // guard AST per transition id (chart runs only)
 }
 
 func (a *analysis) add(code string, sev Severity, where, format string, args ...any) {
@@ -270,8 +270,8 @@ type fragment struct {
 type fragKind int
 
 const (
-	fragGuard fragKind = iota // expression: leaves one value
-	fragAction                // assignments: leaves nothing
+	fragGuard  fragKind = iota // expression: leaves one value
+	fragAction                 // assignments: leaves nothing
 )
 
 // fragments enumerates every compiled fragment with its role.

@@ -51,7 +51,7 @@ type machine struct {
 	at  sim.Time // scripted stimulus instant
 	ph  phase
 	m   fourvar.Event // matched m-event (valid in waitC)
-	wd  *sim.Event    // deadline watchdog, armed on m-observation
+	wd  sim.Event     // deadline watchdog, armed on m-observation
 }
 
 // Stats are the monitor's observability counters, surfaced through
@@ -323,10 +323,8 @@ func (m *Monitor) decide(mc *machine, s core.SampleResult) {
 	mc.ph = done
 	m.results[mc.idx] = s
 	m.decided++
-	if mc.wd != nil {
-		mc.wd.Cancel()
-		mc.wd = nil
-	}
+	mc.wd.Cancel() // no-op unless armed and still pending
+	mc.wd = sim.Event{}
 	for i, cur := range m.inflight {
 		if cur == mc {
 			m.inflight = append(m.inflight[:i], m.inflight[i+1:]...)

@@ -139,13 +139,23 @@ func (l listener) TransitionFinish(id int, label string, at time.Duration, chang
 	}
 }
 
-// NewSystem assembles a fresh implemented system for one simulation run.
-func NewSystem(cfg Config, scheme Scheme, level Instrument) (*System, error) {
+// Prebuilt holds the run-independent artifacts of a Config: the
+// compiled chart's generated program and the validated four-variable
+// mapping. Compilation and binding validation run once in Precompile;
+// every NewSystem call then only assembles run state. The Program is
+// immutable (all execution state lives in codegen.Exec), so a single
+// Prebuilt is safely shared by concurrent campaign workers.
+type Prebuilt struct {
+	cfg     Config
+	prog    *codegen.Program
+	mapping fourvar.Mapping
+}
+
+// Precompile compiles the chart, generates CODE(M), and validates the
+// input/output bindings against the program and board configuration.
+func Precompile(cfg Config) (*Prebuilt, error) {
 	if cfg.Chart == nil {
 		return nil, fmt.Errorf("platform: Config.Chart is required")
-	}
-	if scheme == nil {
-		return nil, fmt.Errorf("platform: scheme is required")
 	}
 	if len(cfg.Inputs) == 0 || len(cfg.Outputs) == 0 {
 		return nil, fmt.Errorf("platform: at least one input and one output binding required")
@@ -158,24 +168,7 @@ func NewSystem(cfg Config, scheme Scheme, level Instrument) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	k := sim.New()
-	sys := &System{
-		Kernel:     k,
-		Sched:      rtos.New(k, cfg.RTOS),
-		Env:        env.New(k),
-		Trace:      fourvar.NewTrace(),
-		TransTrace: fourvar.NewTransitionTrace(),
-		cfg:        cfg,
-		scheme:     scheme,
-		level:      level,
-		prog:       prog,
-		taskEnv:    &taskEnv{k: k},
-	}
-	sys.Board, err = hw.NewBoard(sys.Env, cfg.Board)
-	if err != nil {
-		return nil, err
-	}
-	// Validate bindings against board and program.
+	// Validate bindings against board configuration and program.
 	sensorSignal := make(map[string]string)
 	for _, sc := range cfg.Board.Sensors {
 		sensorSignal[sc.Name] = sc.Signal
@@ -221,22 +214,110 @@ func NewSystem(cfg Config, scheme Scheme, level Instrument) (*System, error) {
 	if err := mapping.Validate(); err != nil {
 		return nil, err
 	}
-	sys.mapping = mapping
+	return &Prebuilt{cfg: cfg, prog: prog, mapping: mapping}, nil
+}
+
+// Config returns the configuration the Prebuilt was compiled from.
+func (pb *Prebuilt) Config() Config { return pb.cfg }
+
+// Scratch pools the run-local machinery one campaign worker can safely
+// reuse between sequential runs: the simulation kernel (event pool and
+// queue capacity survive Reset) and the four-variable trace (event and
+// stream-index capacity survive Reset). The zero value is ready to use;
+// pass the same Scratch to successive NewSystem calls on one worker.
+//
+// The caller must Shutdown the previous System before building the next
+// one from the same Scratch, and must not touch the previous System
+// afterwards — its kernel and trace are recycled in place.
+//
+// The TransitionTrace is deliberately NOT pooled: M-level results retain
+// it (coverage analysis reads it after the campaign), so recycling it
+// would clobber data the caller still owns.
+type Scratch struct {
+	kernel *sim.Kernel
+	trace  *fourvar.Trace
+}
+
+// take returns the pooled kernel and trace, reset for a fresh run, and
+// lazily allocates them on first use. Taps are cleared: run-scoped
+// observers (the online monitor) must not survive into the next run.
+func (sc *Scratch) take() (*sim.Kernel, *fourvar.Trace) {
+	if sc.kernel == nil {
+		sc.kernel = sim.New()
+		sc.trace = fourvar.NewTrace()
+	} else {
+		sc.kernel.Reset()
+		sc.trace.Reset()
+		sc.trace.ClearTaps()
+	}
+	return sc.kernel, sc.trace
+}
+
+// NewSystem assembles a fresh implemented system for one simulation run.
+// It recompiles the chart every call; campaigns should Precompile once
+// and use Prebuilt.NewSystem per run instead.
+func NewSystem(cfg Config, scheme Scheme, level Instrument) (*System, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("platform: scheme is required")
+	}
+	pb, err := Precompile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pb.NewSystem(scheme, level, nil)
+}
+
+// NewSystem assembles one implemented system from the precompiled
+// program. scratch may be nil (everything is freshly allocated) or a
+// per-worker Scratch whose kernel and trace are recycled into the new
+// system. The scheduler, environment, board and executor are always
+// rebuilt — they are cheap, and the RTOS owns goroutine lifecycle state
+// that must not leak between runs.
+func (pb *Prebuilt) NewSystem(scheme Scheme, level Instrument, scratch *Scratch) (*System, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("platform: scheme is required")
+	}
+	var k *sim.Kernel
+	var tr *fourvar.Trace
+	if scratch != nil {
+		k, tr = scratch.take()
+	} else {
+		k, tr = sim.New(), fourvar.NewTrace()
+	}
+	cfg := pb.cfg
+	sys := &System{
+		Kernel:     k,
+		Sched:      rtos.New(k, cfg.RTOS),
+		Env:        env.New(k),
+		Trace:      tr,
+		TransTrace: fourvar.NewTransitionTrace(),
+		cfg:        cfg,
+		scheme:     scheme,
+		level:      level,
+		prog:       pb.prog,
+		taskEnv:    &taskEnv{k: k},
+		mapping:    pb.mapping,
+	}
+	var err error
+	sys.Board, err = hw.NewBoard(sys.Env, cfg.Board)
+	if err != nil {
+		return nil, err
+	}
 
 	var lst codegen.Listener
 	if level == MLevel {
 		lst = listener{sys: sys}
 	}
-	sys.Exec = codegen.NewExec(prog, cfg.Cost, sys.taskEnv, lst)
+	sys.Exec = codegen.NewExec(pb.prog, cfg.Cost, sys.taskEnv, lst)
 
 	// Boundary probes: every monitored and controlled signal change is an
 	// m-/c-event.
-	for m := range mapping.MtoI {
+	for m := range pb.mapping.MtoI {
 		sys.Env.Watch(m, func(name string, _, now int64, at sim.Time) {
 			sys.Trace.Record(fourvar.Monitored, name, now, at)
 		})
 	}
-	for _, c := range mapping.OtoC {
+	for _, c := range pb.mapping.OtoC {
 		sys.Env.Watch(c, func(name string, _, now int64, at sim.Time) {
 			sys.Trace.Record(fourvar.Controlled, name, now, at)
 		})

@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -346,5 +348,113 @@ func TestLevelInputBindingVariableRouting(t *testing.T) {
 	// The i-event for the variable routing was recorded.
 	if _, ok := sys.Trace.FirstAt(fourvar.Input, "in_level", 0, func(v int64) bool { return v == 7 }); !ok {
 		t.Fatalf("missing i-event for level input; trace:\n%s", sys.Trace.String())
+	}
+}
+
+// traceFingerprint renders every recorded event; byte equality of two
+// fingerprints means the runs observed identical executions.
+func traceFingerprint(sys *System) string {
+	var b strings.Builder
+	for e := range sys.Trace.All() {
+		fmt.Fprintf(&b, "%d %s %d %d\n", e.Kind, e.Name, e.Value, e.At)
+	}
+	return b.String()
+}
+
+// TestPrebuiltMatchesNewSystem: a system assembled from a Prebuilt is
+// observationally identical to one assembled by NewSystem's
+// compile-per-call path.
+func TestPrebuiltMatchesNewSystem(t *testing.T) {
+	ref := newSys(t, DefaultScheme1(), MLevel)
+	pressBolus(ref, 40*ms, 60*ms)
+	ref.Run(500 * ms)
+
+	pb, err := Precompile(pumpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pb.NewSystem(DefaultScheme1(), MLevel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Shutdown)
+	pressBolus(sys, 40*ms, 60*ms)
+	sys.Run(500 * ms)
+
+	if got, want := traceFingerprint(sys), traceFingerprint(ref); got != want {
+		t.Fatalf("prebuilt run diverges:\n got: %s\nwant: %s", got, want)
+	}
+	if len(sys.TransTrace.Records()) != len(ref.TransTrace.Records()) {
+		t.Fatal("transition traces diverge")
+	}
+}
+
+// TestScratchReuseDeterministic: a sequence of runs through one Scratch
+// reproduces the fresh-system execution exactly — the scratch-reuse
+// contract the campaign engine's per-worker recycling relies on.
+func TestScratchReuseDeterministic(t *testing.T) {
+	pb, err := Precompile(pumpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traceFingerprint(func() *System {
+		sys := newSys(t, DefaultScheme2(), MLevel)
+		pressBolus(sys, 40*ms, 60*ms)
+		sys.Run(500 * ms)
+		return sys
+	}())
+
+	sc := &Scratch{}
+	for i := 0; i < 3; i++ {
+		sys, err := pb.NewSystem(DefaultScheme2(), MLevel, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pressBolus(sys, 40*ms, 60*ms)
+		sys.Run(500 * ms)
+		if got := traceFingerprint(sys); got != want {
+			t.Fatalf("scratch run %d diverges:\n got: %s\nwant: %s", i, got, want)
+		}
+		// The retained TransitionTrace must be fresh per system: mutating
+		// run i's records must be impossible via run i+1 (distinct values).
+		if i > 0 && len(sys.TransTrace.Records()) == 0 {
+			t.Fatal("reused-scratch run lost its transition trace")
+		}
+		sys.Shutdown()
+	}
+}
+
+// TestScratchClearsTaps: a tap registered by one run (the online
+// monitor's wiring) must not observe the next run built from the same
+// scratch.
+func TestScratchClearsTaps(t *testing.T) {
+	pb, err := Precompile(pumpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scratch{}
+	sys1, err := pb.NewSystem(DefaultScheme1(), RLevel, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked := 0
+	sys1.Trace.Tap(func(fourvar.Event) { leaked++ })
+	pressBolus(sys1, 40*ms, 60*ms)
+	sys1.Run(300 * ms)
+	sys1.Shutdown()
+	seen := leaked
+
+	sys2, err := pb.NewSystem(DefaultScheme1(), RLevel, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys2.Shutdown)
+	pressBolus(sys2, 40*ms, 60*ms)
+	sys2.Run(300 * ms)
+	if leaked != seen {
+		t.Fatalf("tap from run 1 observed %d events of run 2", leaked-seen)
+	}
+	if sys2.Trace.Len() == 0 {
+		t.Fatal("run 2 recorded nothing")
 	}
 }

@@ -17,6 +17,7 @@ import (
 // chains of the paper can be inspected on a waveform viewer timeline.
 // The timescale is 1 us; virtual instants are truncated accordingly.
 func VCD(w io.Writer, tr *fourvar.Trace, comment string) error {
+	// Read-only view of the trace; VCD emission never mutates events.
 	events := tr.Events()
 	// Collect variables per kind, sorted for a deterministic id layout.
 	type key struct {
@@ -25,7 +26,7 @@ func VCD(w io.Writer, tr *fourvar.Trace, comment string) error {
 	}
 	seen := map[key]bool{}
 	var keys []key
-	for _, e := range events {
+	for e := range tr.All() {
 		k := key{e.Kind, e.Name}
 		if !seen[k] {
 			seen[k] = true

@@ -143,7 +143,7 @@ func (q *Queue) send(t *Task, v any, timeout sim.Time, hasTimeout bool) {
 	if hasTimeout {
 		s := q.sched
 		t.wakeEv = s.k.After(timeout, func() {
-			t.wakeEv = nil
+			t.wakeEv = sim.Event{}
 			q.removeSendWaiter(w)
 			q.dropped++
 			t.blockOK = false
@@ -202,7 +202,7 @@ func (q *Queue) recv(t *Task, timeout sim.Time, hasTimeout bool) {
 	if hasTimeout {
 		s := q.sched
 		t.wakeEv = s.k.After(timeout, func() {
-			t.wakeEv = nil
+			t.wakeEv = sim.Event{}
 			q.recvWait = removeTask(q.recvWait, t)
 			t.blockOK = false
 			t.blockVal = nil

@@ -48,11 +48,11 @@ type Scheduler struct {
 	current *Task
 
 	// CPU occupancy. Exactly one of these is meaningful at a time.
-	computeDone  *sim.Event
+	computeDone  sim.Event
 	computeStart sim.Time
-	sliceEnd     *sim.Event
+	sliceEnd     sim.Event
 	switching    bool
-	switchDone   *sim.Event
+	switchDone   sim.Event
 	switchTarget *Task
 	lastOnCPU    *Task
 
@@ -175,7 +175,7 @@ func (s *Scheduler) cpuIdle() bool {
 }
 
 func (s *Scheduler) cpuComputing() bool {
-	return s.computeDone != nil && s.computeDone.Pending()
+	return s.computeDone.Pending()
 }
 
 // makeReady inserts t into the ready list. front selects LIFO insertion
@@ -271,7 +271,7 @@ func (s *Scheduler) schedLoop() {
 				}
 				// Equal-priority contention appeared mid-burst: start a
 				// round-robin slice if slicing is enabled.
-				if s.cfg.TimeSlice > 0 && s.sliceEnd == nil && s.equalPrioReady(s.current) {
+				if s.cfg.TimeSlice > 0 && !s.sliceEnd.Pending() && s.equalPrioReady(s.current) {
 					s.armSlice()
 				}
 			}
@@ -346,7 +346,7 @@ func (s *Scheduler) beginCompute(t *Task) {
 	s.computeStart = s.k.Now()
 	s.computeDone = s.k.After(t.pendingCompute, func() {
 		t.pendingCompute = 0
-		s.computeDone = nil
+		s.computeDone = sim.Event{}
 		s.cancelSlice()
 		s.schedLoop()
 	})
@@ -363,15 +363,15 @@ func (s *Scheduler) armSlice() {
 		return
 	}
 	s.sliceEnd = s.k.After(s.cfg.TimeSlice, func() {
-		s.sliceEnd = nil
+		s.sliceEnd = sim.Event{}
 		s.rotateSlice()
 	})
 }
 
 func (s *Scheduler) cancelSlice() {
-	if s.sliceEnd != nil {
+	if s.sliceEnd.Pending() {
 		s.sliceEnd.Cancel()
-		s.sliceEnd = nil
+		s.sliceEnd = sim.Event{}
 	}
 }
 
@@ -409,7 +409,7 @@ func (s *Scheduler) rotateSlice() {
 func (s *Scheduler) stopCompute(t *Task) {
 	elapsed := s.k.Now() - s.computeStart
 	s.computeDone.Cancel()
-	s.computeDone = nil
+	s.computeDone = sim.Event{}
 	s.cancelSlice()
 	t.pendingCompute -= elapsed
 	if t.pendingCompute < 0 {
@@ -455,9 +455,8 @@ func (s *Scheduler) wake(t *Task) {
 	if t.state != TaskBlocked && t.state != TaskSleeping {
 		panic(fmt.Sprintf("rtos: wake(%s) in state %v", t.name, t.state))
 	}
-	if t.wakeEv != nil {
-		t.wakeEv.Cancel()
-		t.wakeEv = nil
+	if t.wakeEv.Cancel() {
+		t.wakeEv = sim.Event{}
 	}
 	s.makeReady(t, false)
 }
@@ -481,7 +480,7 @@ func (s *Scheduler) handle(t *Task, r request) {
 		s.current = nil
 		s.trace.add(s.k.Now(), TraceSleep, t)
 		t.wakeEv = s.k.At(r.until, func() {
-			t.wakeEv = nil
+			t.wakeEv = sim.Event{}
 			t.blockOK = true
 			s.makeReady(t, false)
 			s.kick()
@@ -539,21 +538,21 @@ func (s *Scheduler) stealCPU(d sim.Time) {
 		t := s.current
 		s.computeDone = s.k.After(d+remaining, func() {
 			t.pendingCompute = 0
-			s.computeDone = nil
+			s.computeDone = sim.Event{}
 			s.cancelSlice()
 			s.schedLoop()
 		})
-		if s.sliceEnd != nil && s.sliceEnd.Pending() {
+		if s.sliceEnd.Pending() {
 			sliceRemaining := s.sliceEnd.At() - s.k.Now()
 			s.sliceEnd.Cancel()
 			s.sliceEnd = s.k.After(d+sliceRemaining, func() {
-				s.sliceEnd = nil
+				s.sliceEnd = sim.Event{}
 				s.rotateSlice()
 			})
 		}
 		return
 	}
-	if s.switching && s.switchDone != nil && s.switchDone.Pending() {
+	if s.switching && s.switchDone.Pending() {
 		remaining := s.switchDone.At() - s.k.Now()
 		s.switchDone.Cancel()
 		target := s.switchTarget

@@ -44,7 +44,7 @@ func (sem *Semaphore) take(t *Task, timeout sim.Time, hasTimeout bool) {
 	if hasTimeout {
 		s := sem.sched
 		t.wakeEv = s.k.After(timeout, func() {
-			t.wakeEv = nil
+			t.wakeEv = sim.Event{}
 			sem.waiters = removeTask(sem.waiters, t)
 			t.blockOK = false
 			s.makeReady(t, false)

@@ -85,7 +85,7 @@ type Task struct {
 
 	pendingCompute sim.Time
 	readyAt        sim.Time
-	wakeEv         *sim.Event
+	wakeEv         sim.Event
 
 	// Reply slots for blocking operations, set by the scheduler before the
 	// task is resumed.

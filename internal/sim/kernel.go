@@ -7,13 +7,26 @@
 // scheduled, which makes every simulation in this repository fully
 // deterministic: the same program produces the same trace, bit for bit.
 //
+// The event queue is a hand-specialized 4-ary min-heap over a flat
+// []*node slice, ordered by (instant, schedule sequence): no interface
+// boxing, no sort.Interface indirection, and a shallower tree than the
+// binary heap container/heap would give (log4 instead of log2 levels,
+// with all four children in one cache line's worth of pointers).
+// Fired and cancelled events return to a free list and are recycled by
+// later At/After calls, so the steady-state schedule/fire cycle
+// allocates nothing. Pool safety rests on a per-node generation
+// counter: an Event handle captures the node's generation at schedule
+// time, and Cancel/Pending on a handle whose generation no longer
+// matches (the node has been fired or recycled since) are no-ops. See
+// DESIGN.md ("Kernel event queue and pool") for the determinism
+// invariants this structure must preserve.
+//
 // The kernel is intentionally single-threaded. Higher layers (notably
 // internal/rtos) build coroutine-style concurrency on top of it, but at any
 // moment exactly one piece of simulation logic is executing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -23,63 +36,52 @@ import (
 // duration literals (25 * time.Millisecond) for both instants and spans.
 type Time = time.Duration
 
-// Event is a scheduled callback. It is created by Kernel.At / Kernel.After
-// and may be cancelled before it fires.
+// node is the kernel-internal, pooled representation of one scheduled
+// callback. Nodes are owned by the kernel: they move between the heap
+// and the free list and are never reachable by callers except through
+// generation-checked Event handles.
+type node struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	gen    uint64 // bumped every time the node is released to the pool
+	index  int    // heap index; -1 while on the free list
+	kernel *Kernel
+}
+
+// Event is a by-value handle to a scheduled callback, created by
+// Kernel.At / Kernel.After. The zero value is an inert handle: Pending
+// reports false and Cancel is a no-op. Handles stay safe after the
+// event fires or is cancelled — the underlying pooled storage may be
+// recycled for a later event, but the handle's captured generation no
+// longer matches, so a stale Cancel can never hit the new occupant.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once fired or cancelled-and-removed
-	kernel   *Kernel
+	n   *node
+	gen uint64
+	at  Time
 }
 
 // At reports the virtual instant the event is scheduled to fire at.
-func (e *Event) At() Time { return e.at }
-
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op. Cancel reports whether the
-// event was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.canceled || e.index < 0 {
-		return false
-	}
-	e.canceled = true
-	heap.Remove(&e.kernel.queue, e.index)
-	e.index = -1
-	return true
-}
+func (e Event) At() Time { return e.at }
 
 // Pending reports whether the event is still waiting to fire.
-func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 }
+func (e Event) Pending() bool {
+	return e.n != nil && e.n.gen == e.gen && e.n.index >= 0
+}
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled, or whose storage was recycled for a
+// later event) is a no-op. Cancel reports whether the event was still
+// pending.
+func (e Event) Cancel() bool {
+	n := e.n
+	if n == nil || n.gen != e.gen || n.index < 0 {
+		return false
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	k := n.kernel
+	k.heapRemove(n.index)
+	k.release(n)
+	return true
 }
 
 // MaxSameInstant bounds how many events may fire at one virtual instant
@@ -92,12 +94,19 @@ const MaxSameInstant = 1 << 20
 // Kernel is the discrete-event simulator. The zero value is ready to use.
 type Kernel struct {
 	now       Time
-	queue     eventQueue
+	queue     []*node // 4-ary min-heap by (at, seq)
+	free      []*node // recycled nodes
 	seq       uint64
 	stopped   bool
 	fired     uint64
 	atInstant int
 	stopConds []func() bool
+
+	// Heap-operation counters; regression tests pin the fused run loop to
+	// exactly one pop per fired event (see TestRunHeapOpsPerFiredEvent).
+	pushes  uint64
+	pops    uint64
+	removes uint64
 }
 
 // New returns a fresh kernel with the clock at zero.
@@ -113,52 +122,110 @@ func (k *Kernel) EventsFired() uint64 { return k.fired }
 // Pending returns the number of events currently scheduled.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// QueueOps returns cumulative heap-operation counts: pushes (At/After),
+// pops (events leaving the queue root to fire) and removes (targeted
+// extraction by Cancel). The fused run loop guarantees pops never
+// exceeds EventsFired plus the events popped by Step outside Run.
+func (k *Kernel) QueueOps() (pushes, pops, removes uint64) {
+	return k.pushes, k.pops, k.removes
+}
+
+// Reset returns the kernel to its initial state — clock at zero, no
+// pending events, no stop conditions — while retaining the node pool and
+// heap capacity, so a reset kernel schedules without allocating. It is
+// the campaign engine's per-worker scratch hook: back-to-back runs on
+// one reset kernel execute identically to runs on fresh kernels, because
+// every ordering input (clock, sequence counter) restarts from zero.
+func (k *Kernel) Reset() {
+	for _, n := range k.queue {
+		n.index = -1
+		k.release(n)
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.stopped = false
+	k.fired = 0
+	k.atInstant = 0
+	k.stopConds = k.stopConds[:0]
+	k.pushes, k.pops, k.removes = 0, 0, 0
+}
+
+// alloc takes a node from the free list, or grows the pool.
+func (k *Kernel) alloc() *node {
+	if n := len(k.free); n > 0 {
+		nd := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return nd
+	}
+	return &node{kernel: k}
+}
+
+// release returns a node to the free list, invalidating every
+// outstanding handle by bumping the generation.
+func (k *Kernel) release(n *node) {
+	n.gen++
+	n.fn = nil
+	n.index = -1
+	k.free = append(k.free, n)
+}
+
 // At schedules fn to run at the absolute virtual instant t. Scheduling in
 // the past (t < Now) panics: in a deterministic simulator that is always a
 // logic error, and silently clamping it would hide real bugs.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: at=%v now=%v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, kernel: k}
+	n := k.alloc()
+	n.at = t
+	n.seq = k.seq
+	n.fn = fn
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.heapPush(n)
+	return Event{n: n, gen: n.gen, at: t}
 }
 
 // After schedules fn to run d after the current instant.
-func (k *Kernel) After(d Time, fn func()) *Event {
+func (k *Kernel) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.At(k.now+d, fn)
 }
 
+// fire advances the clock to n's instant and runs its callback. The node
+// is released to the pool before the callback runs, so a callback that
+// schedules a new event (the Ticker re-arm path) reuses the very node
+// that just fired.
+func (k *Kernel) fire(n *node) {
+	if n.at == k.now {
+		k.atInstant++
+		if k.atInstant > MaxSameInstant {
+			panic(fmt.Sprintf("sim: zero-time livelock: more than %d events at t=%v", MaxSameInstant, k.now))
+		}
+	} else {
+		k.atInstant = 0
+	}
+	k.now = n.at
+	k.fired++
+	fn := n.fn
+	k.release(n)
+	fn()
+}
+
 // Step fires the single next event, advancing the clock to its instant.
 // It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.at == k.now {
-			k.atInstant++
-			if k.atInstant > MaxSameInstant {
-				panic(fmt.Sprintf("sim: zero-time livelock: more than %d events at t=%v", MaxSameInstant, k.now))
-			}
-		} else {
-			k.atInstant = 0
-		}
-		k.now = e.at
-		k.fired++
-		e.fn()
-		return true
+	if len(k.queue) == 0 {
+		return false
 	}
-	return false
+	k.fire(k.heapPop())
+	return true
 }
 
 // Stop makes the current Run call return after the event in progress
@@ -168,11 +235,12 @@ func (k *Kernel) Stop() { k.stopped = true }
 // StopWhen registers a stop condition: during Run (and RunUntilIdle) the
 // condition is evaluated after every fired event, and as soon as it
 // reports true the run is cut short, leaving the clock at the instant of
-// the deciding event. Conditions persist across Run calls and there is no
-// way to deregister one — they belong to run-scoped observers (the online
-// monitor subsystem) that own the kernel for one simulation. Multiple
-// conditions stop the run when any one of them holds, so a group of
-// observers that must all agree registers a single aggregate condition.
+// the deciding event. Conditions persist across Run calls (Reset clears
+// them) and there is no way to deregister one — they belong to
+// run-scoped observers (the online monitor subsystem) that own the
+// kernel for one simulation. Multiple conditions stop the run when any
+// one of them holds, so a group of observers that must all agree
+// registers a single aggregate condition.
 func (k *Kernel) StopWhen(cond func() bool) {
 	if cond == nil {
 		panic("sim: StopWhen with nil condition")
@@ -194,18 +262,20 @@ func (k *Kernel) shouldStop() bool {
 // event lies strictly beyond horizon. The clock never exceeds horizon: if
 // the queue drains (or Run stops at a later event) the clock is advanced to
 // exactly horizon, so back-to-back Run calls see monotone time.
+//
+// The loop is a single fused pop path: the horizon check reads the heap
+// root in place (cancelled events are removed eagerly by Cancel, so the
+// root is always live) and each fired event costs exactly one heap pop.
 func (k *Kernel) Run(horizon Time) {
 	if horizon < k.now {
 		panic(fmt.Sprintf("sim: Run horizon %v before now %v", horizon, k.now))
 	}
 	k.stopped = false
 	for !k.stopped {
-		// Peek at the next non-cancelled event.
-		next := k.peek()
-		if next == nil || next.at > horizon {
+		if len(k.queue) == 0 || k.queue[0].at > horizon {
 			break
 		}
-		k.Step()
+		k.fire(k.heapPop())
 		if len(k.stopConds) > 0 && k.shouldStop() {
 			k.stopped = true
 		}
@@ -227,16 +297,112 @@ func (k *Kernel) RunUntilIdle() {
 	}
 }
 
-func (k *Kernel) peek() *Event {
-	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if !e.canceled {
-			return e
-		}
-		heap.Pop(&k.queue)
-	}
-	return nil
+// --- 4-ary min-heap ---------------------------------------------------
+
+// heapArity is the heap's branching factor. Four halves the tree depth of
+// a binary heap; the extra comparisons per level stay on one node's
+// children, which the prefetcher handles well.
+const heapArity = 4
+
+// less orders nodes by instant, breaking ties by schedule order so
+// same-instant events fire FIFO.
+func less(a, b *node) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
+
+// heapPush appends n and restores the heap property.
+func (k *Kernel) heapPush(n *node) {
+	k.pushes++
+	k.queue = append(k.queue, n)
+	k.siftUp(len(k.queue)-1, n)
+}
+
+// heapPop removes and returns the minimum node.
+func (k *Kernel) heapPop() *node {
+	k.pops++
+	q := k.queue
+	root := q[0]
+	last := len(q) - 1
+	moved := q[last]
+	q[last] = nil
+	k.queue = q[:last]
+	if last > 0 {
+		k.siftDown(0, moved)
+	}
+	root.index = -1
+	return root
+}
+
+// heapRemove extracts the node at index i (the Cancel path).
+func (k *Kernel) heapRemove(i int) {
+	k.removes++
+	q := k.queue
+	last := len(q) - 1
+	removed := q[i]
+	moved := q[last]
+	q[last] = nil
+	k.queue = q[:last]
+	if i < last {
+		k.siftDown(i, moved)
+		if moved.index == i {
+			k.siftUp(i, moved)
+		}
+	}
+	removed.index = -1
+}
+
+// siftUp places n, currently destined for slot i, at its final position
+// towards the root. The slot contents are shifted lazily: n is written
+// exactly once.
+func (k *Kernel) siftUp(i int, n *node) {
+	q := k.queue
+	for i > 0 {
+		p := (i - 1) / heapArity
+		pn := q[p]
+		if !less(n, pn) {
+			break
+		}
+		q[i] = pn
+		pn.index = i
+		i = p
+	}
+	q[i] = n
+	n.index = i
+}
+
+// siftDown places n, currently destined for slot i, at its final position
+// towards the leaves.
+func (k *Kernel) siftDown(i int, n *node) {
+	q := k.queue
+	size := len(q)
+	for {
+		first := heapArity*i + 1
+		if first >= size {
+			break
+		}
+		best := first
+		bn := q[first]
+		end := first + heapArity
+		if end > size {
+			end = size
+		}
+		for c := first + 1; c < end; c++ {
+			if cn := q[c]; less(cn, bn) {
+				best, bn = c, cn
+			}
+		}
+		if !less(bn, n) {
+			break
+		}
+		q[i] = bn
+		bn.index = i
+		i = best
+	}
+	q[i] = n
+	n.index = i
+}
+
+// --- Periodic ---------------------------------------------------------
 
 // Periodic schedules fn every period, first at start, until the returned
 // Ticker is stopped. fn receives the tick index, starting at 0.
@@ -245,7 +411,11 @@ func (k *Kernel) Periodic(start, period Time, fn func(n uint64)) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	t := &Ticker{kernel: k, period: period, fn: fn}
-	t.ev = k.At(start, t.fire)
+	// The re-arm closure is created once; every subsequent tick reuses it
+	// (and, through the pool, the event node it just fired from), so a
+	// long-running ticker's steady state allocates nothing.
+	t.fireFn = t.fire
+	t.ev = k.At(start, t.fireFn)
 	return t
 }
 
@@ -254,8 +424,9 @@ type Ticker struct {
 	kernel  *Kernel
 	period  Time
 	fn      func(uint64)
+	fireFn  func()
 	n       uint64
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 
@@ -266,8 +437,9 @@ func (t *Ticker) fire() {
 	n := t.n
 	t.n++
 	// Re-arm before running the callback so the callback can Stop the
-	// ticker and observe Pending()==false afterwards.
-	t.ev = t.kernel.After(t.period, t.fire)
+	// ticker and observe Pending()==false afterwards. The fired node was
+	// just released, so this After recycles it in place.
+	t.ev = t.kernel.After(t.period, t.fireFn)
 	t.fn(n)
 }
 

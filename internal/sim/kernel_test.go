@@ -72,7 +72,7 @@ func TestCancelFromSibling(t *testing.T) {
 	// An event scheduled at the same instant can cancel a later sibling.
 	k := New()
 	fired := false
-	var victim *Event
+	var victim Event
 	k.At(time.Millisecond, func() { victim.Cancel() })
 	victim = k.At(time.Millisecond, func() { fired = true })
 	k.Run(time.Second)
