@@ -5,13 +5,18 @@
 // Usage:
 //
 //	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online]
-//	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta]
+//	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta] [-platform scheme2|scheme3]
 //
 // The lint subcommand runs the static-analysis layer on a shipped chart:
 // model-level findings (reachability, guard determinism, variable usage,
 // temporal sanity), bytecode-level checks (stack discipline, division by
-// zero) and static WCET bounds. It exits nonzero when any fatal finding
-// is present, so it can gate CI.
+// zero) and static WCET bounds. With -platform it additionally runs the
+// platform static analyzer on the named scheme's task/queue
+// configuration: lock-order cycles, unbounded priority inversion,
+// blocking terms under priority inheritance folded into response-time
+// bounds, and queue-capacity sufficiency. It exits nonzero when any
+// fatal finding — chart or platform — is present, so it can gate CI;
+// -json emits one machine-readable document covering both layers.
 package main
 
 import (
@@ -210,6 +215,7 @@ func runLint(args []string) {
 	chartName := fs.String("chart", "gpca", "chart to analyze: gpca, gpca-extended or railcrossing")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	withRTA := fs.Bool("rta", false, "also run response-time analysis from the static WCET bounds (scheme 2)")
+	platName := fs.String("platform", "", "also run the platform static analyzer on a scheme configuration: scheme2 or scheme3")
 	fs.Parse(args)
 
 	var chart *rmtest.Chart
@@ -227,14 +233,50 @@ func runLint(args []string) {
 	if err != nil {
 		fail("lint: %v", err)
 	}
+
+	// Platform analysis: the pump pipeline on the named scheme. The
+	// platform model is tied to the GPCA board, so it only pairs with the
+	// gpca chart.
+	var plat *rmtest.PlatformReport
+	if *platName != "" {
+		if *chartName != "gpca" {
+			fail("-platform requires -chart gpca (the pipeline model is the pump's)")
+		}
+		s2 := rmtest.Scheme2().(*rmtest.Scheme2Config)
+		var interference []platform.InterferenceTask
+		switch *platName {
+		case "scheme2":
+		case "scheme3":
+			s3 := rmtest.Scheme3().(*rmtest.Scheme3Config)
+			s2 = &s3.Scheme2
+			interference = s3.Interference
+		default:
+			fail("unknown platform %q (want scheme2 or scheme3)", *platName)
+		}
+		an, err := rmtest.AnalyzePipelineStatic(s2, interference)
+		if err != nil {
+			fail("platform lint: %v", err)
+		}
+		plat = an.Platform
+	}
+
 	if *asJSON {
-		out, err := rmtest.RenderLintJSON(rep)
+		var out []byte
+		if plat != nil {
+			out, err = rmtest.RenderCombinedLintJSON(rep, plat)
+		} else {
+			out, err = rmtest.RenderLintJSON(rep)
+		}
 		if err != nil {
 			fail("lint: %v", err)
 		}
 		fmt.Printf("%s\n", out)
 	} else {
 		fmt.Print(rmtest.RenderLint(rep))
+		if plat != nil {
+			fmt.Printf("\n== platform static analysis (%s) ==\n", *platName)
+			fmt.Print(rmtest.RenderPlatformLint(plat))
+		}
 	}
 	if *withRTA {
 		s2 := rmtest.Scheme2()
@@ -250,7 +292,7 @@ func runLint(args []string) {
 			fmt.Println("pipeline not schedulable")
 		}
 	}
-	if len(rep.Fatal()) > 0 {
+	if len(rep.Fatal()) > 0 || (plat != nil && len(plat.Fatal()) > 0) {
 		os.Exit(1)
 	}
 }

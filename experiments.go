@@ -13,6 +13,7 @@ import (
 	"rmtest/internal/monitor"
 	"rmtest/internal/platform"
 	"rmtest/internal/rta"
+	"rmtest/internal/schedlint"
 	"rmtest/internal/sim"
 )
 
@@ -276,6 +277,10 @@ type SchemeAnalysis struct {
 	Bound sim.Time
 	// PredictConforms reports Bound <= REQ1's 100 ms (and schedulability).
 	PredictConforms bool
+	// Platform is the platform static-analysis report (lock-order,
+	// priority-inversion, blocking terms, queue bounds); only the static
+	// pipeline (AnalyzePipelineStatic) populates it.
+	Platform *schedlint.Report
 }
 
 // AnalyzePipeline runs response-time analysis for the scheme-2/3 pump
@@ -304,25 +309,66 @@ func AnalyzePipeline(s *platform.Scheme2, interference []platform.InterferenceTa
 // CODE(M) period) and the device-handling budgets are summed from the
 // board configuration's per-device read/write costs. No measurement or
 // hand calibration feeds the analysis.
+//
+// On top of the WCET inputs it runs the platform static analyzer
+// (internal/schedlint) over the scheme's declared task/queue
+// configuration: lock-order and priority-inversion checks, per-task
+// blocking terms under priority inheritance (folded into the response
+// times as the B_i term), and queue-capacity sufficiency bounds. The
+// full static pipeline is thus chart -> bytecode WCET -> platform
+// blocking -> response-time bound, and the report lands in
+// SchemeAnalysis.Platform.
 func AnalyzePipelineStatic(s *platform.Scheme2, interference []platform.InterferenceTask) (SchemeAnalysis, error) {
 	rep, err := lint.Analyze(gpca.Chart(), codegen.DefaultCostModel())
 	if err != nil {
 		return SchemeAnalysis{}, err
 	}
-	board := gpca.Board()
+	pcfg := gpca.PlatformConfig()
 	var senseWCET, actWCET sim.Time
-	for _, sn := range board.Sensors {
+	for _, sn := range pcfg.Board.Sensors {
 		senseWCET += sn.ReadCost
 	}
-	for _, ac := range board.Actuators {
+	for _, ac := range pcfg.Board.Actuators {
 		actWCET += ac.WriteCost
+	}
+	codeWCET := rep.WCET.Invocation(s.CodePeriod)
+	// Worst-case queue traffic from the binding structure: each input
+	// binding can enqueue an event update and a variable update per sense
+	// release; each output binding can change once per CODE(M) release.
+	senseItems := 0
+	for _, ib := range pcfg.Inputs {
+		if ib.Event != "" {
+			senseItems++
+		}
+		if ib.Var != "" {
+			senseItems++
+		}
+	}
+	model := (&platform.Scheme3{Scheme2: *s, Interference: interference}).StaticModel(platform.PipelineWCET{
+		Sense:      senseWCET,
+		Code:       codeWCET,
+		Act:        actWCET,
+		SenseItems: senseItems,
+		CodeItems:  len(pcfg.Outputs),
+	})
+	plat, err := schedlint.Analyze(model)
+	if err != nil {
+		return SchemeAnalysis{}, err
 	}
 	tasks := []rta.Task{
 		{Name: "sense", Prio: s.SensePrio, Period: s.SensePeriod, WCET: senseWCET},
 		rep.WCET.Task("codeM", s.CodePrio, s.CodePeriod),
 		{Name: "actuate", Prio: s.ActPrio, Period: s.ActPeriod, WCET: actWCET},
 	}
-	return analyzePipelineTasks(s, tasks, interference)
+	for i := range tasks {
+		tasks[i].Blocking = plat.Blocking[tasks[i].Name]
+	}
+	an, err := analyzePipelineTasks(s, tasks, interference)
+	if err != nil {
+		return SchemeAnalysis{}, err
+	}
+	an.Platform = plat
+	return an, nil
 }
 
 func analyzePipelineTasks(s *platform.Scheme2, tasks []rta.Task, interference []platform.InterferenceTask) (SchemeAnalysis, error) {

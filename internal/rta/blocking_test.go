@@ -1,0 +1,60 @@
+package rta
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBlockingTerm: the B_i term shifts a task's response time without
+// touching higher-priority tasks, and negative blocking is rejected.
+func TestBlockingTerm(t *testing.T) {
+	tasks := []Task{
+		{Name: "hi", Prio: 2, Period: 10 * time.Millisecond, WCET: 2 * time.Millisecond},
+		{Name: "lo", Prio: 1, Period: 40 * time.Millisecond, WCET: 4 * time.Millisecond},
+	}
+	base, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks[0].Blocking = 3 * time.Millisecond
+	withB, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := withB[0].Response, base[0].Response+3*time.Millisecond; got != want {
+		// hi suffers no interference, so B adds linearly.
+		t.Errorf("hi response with B=3ms: %v, want %v", got, want)
+	}
+	if withB[1].Response <= base[1].Response {
+		// lo's window now also covers more hi releases only if the
+		// recurrence grows; at minimum it must not shrink.
+		t.Logf("lo response unchanged (%v); acceptable", withB[1].Response)
+	}
+	if !strings.Contains(String(withB), "B=3ms") {
+		t.Errorf("String should render the blocking term:\n%s", String(withB))
+	}
+	if strings.Contains(String(base), "B=") {
+		t.Errorf("String should omit zero blocking:\n%s", String(base))
+	}
+
+	tasks[0].Blocking = -time.Millisecond
+	if _, err := Analyze(tasks); err == nil {
+		t.Error("negative blocking must be rejected")
+	}
+}
+
+// TestBlockingCanBreakSchedulability: a blocking term that pushes the
+// response past the period flips the verdict.
+func TestBlockingCanBreakSchedulability(t *testing.T) {
+	tasks := []Task{
+		{Name: "only", Prio: 1, Period: 10 * time.Millisecond, WCET: 6 * time.Millisecond, Blocking: 5 * time.Millisecond},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Schedulable {
+		t.Errorf("C+B=11ms > T=10ms must be unschedulable, got R=%v", res[0].Response)
+	}
+}

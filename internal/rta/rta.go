@@ -33,6 +33,12 @@ type Task struct {
 	// Jitter is release jitter (time from the nominal release until the
 	// task is actually ready), added to interference windows.
 	Jitter sim.Time
+	// Blocking is the worst-case time per release the task spends blocked
+	// on resources held by lower-priority tasks (the B_i term of the
+	// recurrence). The platform static analyzer (internal/schedlint)
+	// derives it from the declared task-resource usage under the
+	// priority-inheritance protocol internal/rtos implements.
+	Blocking sim.Time
 }
 
 // Result is the analysis outcome for one task.
@@ -63,13 +69,17 @@ func Analyze(tasks []Task) ([]Result, error) {
 		if t.WCET > t.Period {
 			return nil, fmt.Errorf("rta: task %q WCET %v exceeds its period %v", t.Name, t.WCET, t.Period)
 		}
+		if t.Blocking < 0 {
+			return nil, fmt.Errorf("rta: task %q has negative blocking %v", t.Name, t.Blocking)
+		}
 	}
 	out := make([]Result, 0, len(tasks))
 	for i, t := range tasks {
 		res := Result{Task: t, Utilisation: float64(t.WCET) / float64(t.Period)}
 		// Interference set: strictly higher priorities periodically, plus
-		// one WCET of each equal-priority peer (FIFO blocking).
-		var blocking sim.Time
+		// one WCET of each equal-priority peer (FIFO blocking), plus the
+		// task's declared resource-blocking term B_i.
+		blocking := t.Blocking
 		var hp []Task
 		for j, o := range tasks {
 			if i == j {
@@ -158,8 +168,12 @@ func String(results []Result) string {
 		if !r.Schedulable {
 			ok = "NOT schedulable"
 		}
-		out += fmt.Sprintf("%-14s prio=%d T=%v C=%v -> R=%v (%s, u=%.2f)\n",
-			r.Task.Name, r.Task.Prio, r.Task.Period, r.Task.WCET, r.Response, ok, r.Utilisation)
+		b := ""
+		if r.Task.Blocking > 0 {
+			b = fmt.Sprintf(" B=%v", r.Task.Blocking)
+		}
+		out += fmt.Sprintf("%-14s prio=%d T=%v C=%v%s -> R=%v (%s, u=%.2f)\n",
+			r.Task.Name, r.Task.Prio, r.Task.Period, r.Task.WCET, b, r.Response, ok, r.Utilisation)
 	}
 	return out
 }

@@ -185,6 +185,12 @@ func (s *Scheduler) makeReady(t *Task, front bool) {
 	if t.state == TaskReady || t.state == TaskRunning || t.state == TaskDone {
 		panic(fmt.Sprintf("rtos: makeReady(%s) in state %v", t.name, t.state))
 	}
+	if t.state == TaskBlocked {
+		// Close the blocking interval opened by blockCurrentOn, keeping
+		// the resource attribution from the block instant.
+		s.trace.addRes(s.k.Now(), TraceUnblock, t, t.blockedOn, t.blockedBy)
+		t.blockedOn, t.blockedBy = "", ""
+	}
 	t.state = TaskReady
 	t.readyAt = s.k.Now()
 	s.insertReady(t, front)
@@ -442,12 +448,18 @@ func (s *Scheduler) resumeAndWait(t *Task) request {
 	return <-t.reqFromTask()
 }
 
-// blockCurrent removes the current task from the CPU in the blocked state.
-func (s *Scheduler) blockCurrent(why TraceKind) {
+// blockCurrentOn removes the current task from the CPU in the blocked
+// state. The trace record carries the contended resource and, when a
+// single task holds it (mutexes), the holder's identity.
+func (s *Scheduler) blockCurrentOn(why TraceKind, resource string, holder *Task) {
 	t := s.current
 	t.state = TaskBlocked
+	t.blockedOn = resource
+	if holder != nil {
+		t.blockedBy = holder.name
+	}
 	s.current = nil
-	s.trace.add(s.k.Now(), why, t)
+	s.trace.addRes(s.k.Now(), why, t, t.blockedOn, t.blockedBy)
 }
 
 // wake moves a blocked or sleeping task to ready.

@@ -40,7 +40,7 @@ func (sem *Semaphore) take(t *Task, timeout sim.Time, hasTimeout bool) {
 		return
 	}
 	sem.waiters = insertByPrio(sem.waiters, t)
-	sem.sched.blockCurrent(TraceBlock)
+	sem.sched.blockCurrentOn(TraceBlock, sem.name, nil)
 	if hasTimeout {
 		s := sem.sched
 		t.wakeEv = s.k.After(timeout, func() {
@@ -118,7 +118,7 @@ func (m *Mutex) lock(t *Task) {
 	if m.owner.prio < t.prio {
 		m.sched.setEffectivePriority(m.owner, t.prio)
 	}
-	m.sched.blockCurrent(TraceBlock)
+	m.sched.blockCurrentOn(TraceBlock, m.name, m.owner)
 }
 
 func (m *Mutex) unlock(t *Task) {

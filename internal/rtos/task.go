@@ -92,6 +92,12 @@ type Task struct {
 	blockVal any
 	blockOK  bool
 
+	// Blocking attribution: the resource the task is currently blocked
+	// on and, for mutexes, the holder at the block instant. Cleared when
+	// the task unblocks.
+	blockedOn string
+	blockedBy string
+
 	// Accounting.
 	cpuTime        sim.Time
 	holding        []*Mutex
@@ -115,6 +121,15 @@ func (t *Task) State() TaskState { return t.state }
 // CPUTime returns the total virtual CPU time this task has consumed via
 // Compute (including time consumed by bursts still in progress).
 func (t *Task) CPUTime() sim.Time { return t.cpuTime }
+
+// BlockedOn returns the name of the resource the task is currently
+// blocked on, or "" when the task is not blocked on a named resource.
+func (t *Task) BlockedOn() string { return t.blockedOn }
+
+// BlockedBy returns the name of the task holding the resource this task
+// is blocked on, or "" when the holder is unknown (queues, semaphores)
+// or the task is not blocked.
+func (t *Task) BlockedBy() string { return t.blockedBy }
 
 // Period returns the period of a periodic task (zero for plain tasks).
 func (t *Task) Period() sim.Time { return t.period }

@@ -1,0 +1,212 @@
+package schedlint
+
+import (
+	"sort"
+	"strings"
+
+	"rmtest/internal/lint"
+)
+
+// checkLockOrder detects cycles in the lock-order graph collected by
+// scanSections. An edge R -> R' exists when some task acquires R' while
+// holding R; any cycle means two tasks can take the same locks in
+// opposite orders and deadlock. Like the kernel's lockdep, the check is
+// over lock *order*, not a specific interleaving, so it also fires when
+// a single task uses both orders — a latent bug even if that task alone
+// cannot deadlock. Each distinct cycle is reported once, as a fatal
+// finding naming the resource sequence and the tasks contributing edges.
+func (a *analysis) checkLockOrder() [][]string {
+	// Adjacency with deduplicated edges; keep contributing tasks per edge
+	// for the report.
+	type key struct{ from, to string }
+	adj := map[string][]string{}
+	tasks := map[key][]string{}
+	seenEdge := map[key]bool{}
+	for _, e := range a.edges {
+		k := key{e.From, e.To}
+		if !seenEdge[k] {
+			seenEdge[k] = true
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+		if !containsStr(tasks[k], e.Task) {
+			tasks[k] = append(tasks[k], e.Task)
+		}
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// DFS with a recursion stack; when a back edge closes a cycle, record
+	// the stack slice. Canonicalize (rotate to the smallest element) to
+	// report each cycle once.
+	var cycles [][]string
+	seenCycle := map[string]bool{}
+	state := map[string]int{} // 0 unvisited, 1 on stack, 2 done
+	var stack []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		state[n] = 1
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			switch state[m] {
+			case 0:
+				dfs(m)
+			case 1:
+				// Back edge: the cycle is stack[idx(m):] + m.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == m {
+						cyc := canonicalCycle(stack[i:])
+						sig := strings.Join(cyc, "->")
+						if !seenCycle[sig] {
+							seenCycle[sig] = true
+							cycles = append(cycles, cyc)
+						}
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = 2
+	}
+	for _, n := range nodes {
+		if state[n] == 0 {
+			dfs(n)
+		}
+	}
+
+	for _, cyc := range cycles {
+		var who []string
+		for i := 0; i+1 < len(cyc); i++ {
+			for _, t := range tasks[key{cyc[i], cyc[i+1]}] {
+				if !containsStr(who, t) {
+					who = append(who, t)
+				}
+			}
+		}
+		sort.Strings(who)
+		a.add(CodeLockOrderCycle, lint.Fatal, strings.Join(who, ","),
+			"lock-order cycle %s: these locks are acquired in conflicting orders and can deadlock",
+			strings.Join(cyc, " -> "))
+	}
+	return cycles
+}
+
+// canonicalCycle rotates the cycle so its smallest resource comes first
+// and appends the first element at the end for readability.
+func canonicalCycle(c []string) []string {
+	min := 0
+	for i := range c {
+		if c[i] < c[min] {
+			min = i
+		}
+	}
+	out := make([]string, 0, len(c)+1)
+	out = append(out, c[min:]...)
+	out = append(out, c[:min]...)
+	out = append(out, c[min])
+	return out
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleReachable is the brute-force oracle for the cycle detector:
+// it computes the transitive closure of the lock-order edges
+// (Floyd-Warshall style) and reports whether any resource reaches
+// itself. The property test checks the DFS detector against it on
+// random graphs.
+func CycleReachable(edges []LockEdge) bool {
+	idx := map[string]int{}
+	for _, e := range edges {
+		if _, ok := idx[e.From]; !ok {
+			idx[e.From] = len(idx)
+		}
+		if _, ok := idx[e.To]; !ok {
+			idx[e.To] = len(idx)
+		}
+	}
+	n := len(idx)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		reach[idx[e.From]][idx[e.To]] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if reach[i][i] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkInversion flags unbounded priority inversion: a semaphore-guarded
+// section shared between a high- and a low-priority task while some
+// middle-priority task exists. The RTOS semaphore wakes waiters in
+// priority order but performs no priority inheritance, so the middle
+// task can preempt the low-priority holder for arbitrarily long while
+// the high-priority task waits — the Mars Pathfinder failure mode. The
+// fix is to guard the section with a Mutex (which inherits) instead.
+func (a *analysis) checkInversion() {
+	sems := make([]string, 0, len(a.semUsers))
+	for s := range a.semUsers {
+		sems = append(sems, s)
+	}
+	sort.Strings(sems)
+	for _, sem := range sems {
+		users := a.semUsers[sem]
+		lo, hi := users[0], users[0]
+		for _, u := range users[1:] {
+			if u.Prio < lo.Prio {
+				lo = u
+			}
+			if u.Prio > hi.Prio {
+				hi = u
+			}
+		}
+		if hi.Prio <= lo.Prio {
+			continue // single priority band: no inversion possible
+		}
+		// Any task strictly between the priorities (not itself a user)
+		// can starve the holder.
+		var middle []string
+		for i := range a.cfg.Tasks {
+			t := &a.cfg.Tasks[i]
+			if t.Prio > lo.Prio && t.Prio < hi.Prio && !holdsUser(users, t) {
+				middle = append(middle, t.Name)
+			}
+		}
+		if len(middle) == 0 {
+			continue
+		}
+		sort.Strings(middle)
+		a.add(CodeUnboundedInversion, lint.Warn, sem,
+			"semaphore %q is shared by %s (prio %d) and %s (prio %d) without priority inheritance; %s can preempt the holder indefinitely — use a mutex",
+			sem, hi.Name, hi.Prio, lo.Name, lo.Prio, strings.Join(middle, ", "))
+	}
+}

@@ -1,0 +1,219 @@
+package rmtest_test
+
+// Cross-checks of the platform static-analysis layer (internal/schedlint)
+// against the simulator: the blocking-inclusive response-time bounds must
+// dominate what the scheduler trace measures on the Table I platforms, at
+// every campaign worker count, and the scheme-3 interference platform's
+// findings are pinned as a regression.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rmtest"
+	"rmtest/internal/campaign"
+	"rmtest/internal/core"
+	"rmtest/internal/gpca"
+	"rmtest/internal/platform"
+	"rmtest/internal/sim"
+)
+
+// pipelineMeasurement is one scheme run's trace extraction.
+type pipelineMeasurement struct {
+	Resp  map[string]sim.Time
+	Block map[string]sim.Time
+}
+
+// measurePipelines simulates the scheme-2 and scheme-3 pipelines under
+// the Table I stimuli on a campaign pool of the given width and extracts
+// each task's worst observed response and per-release blocking from the
+// scheduler trace.
+func measurePipelines(t *testing.T, workers int) []pipelineMeasurement {
+	t.Helper()
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: 2, Start: 50 * time.Millisecond,
+		Spacing: 4500 * time.Millisecond, Strategy: core.JitteredSpacing,
+		Jitter: 200 * time.Millisecond, Seed: 7,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := []func() platform.Scheme{
+		func() platform.Scheme { return platform.DefaultScheme2() },
+		func() platform.Scheme { return platform.DefaultScheme3() },
+	}
+	outs := campaign.Map(campaign.Config{Workers: workers, Seed: 7}, len(units),
+		func(run campaign.Run) (pipelineMeasurement, error) {
+			cfg := gpca.PlatformConfig()
+			// The default 4096-record ring would wrap over a multi-second
+			// horizon; keep the whole trace.
+			cfg.RTOS.TraceCapacity = 1 << 17
+			sys, err := platform.NewSystem(cfg, units[run.Index](), platform.RLevel)
+			if err != nil {
+				return pipelineMeasurement{}, err
+			}
+			for _, at := range tc.Stimuli {
+				sys.Env.PulseAt(at, req.Stimulus.Signal, 1, 0, req.Stimulus.Width)
+			}
+			sys.Run(tc.Horizon(req))
+			recs := sys.Sched.Trace().Records()
+			m := pipelineMeasurement{
+				Resp:  rmtest.MeasuredResponses(recs),
+				Block: rmtest.MeasuredBlocking(recs),
+			}
+			sys.Shutdown()
+			return m, nil
+		})
+	vals, err := campaign.Values(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// TestPlatformBlockingDominatesMeasured is the platform layer's
+// dominance cross-check, in the mold of TestStaticWCETDominatesMeasured:
+// on the scheme-2 and scheme-3 Table I platforms, every task the static
+// analysis calls schedulable must measure a response no worse than its
+// blocking-inclusive bound and blocking no worse than its B_i term — and
+// the measured values must be identical at every campaign worker count.
+func TestPlatformBlockingDominatesMeasured(t *testing.T) {
+	measured := measurePipelines(t, 1)
+	for _, workers := range []int{2, 4} {
+		if again := measurePipelines(t, workers); !reflect.DeepEqual(measured, again) {
+			t.Fatalf("measured trace extraction differs between workers=1 and workers=%d", workers)
+		}
+	}
+
+	s3 := rmtest.Scheme3().(*rmtest.Scheme3Config)
+	analyses := make([]rmtest.SchemeAnalysis, 2)
+	var err error
+	if analyses[0], err = rmtest.AnalyzePipelineStatic(rmtest.Scheme2().(*rmtest.Scheme2Config), nil); err != nil {
+		t.Fatal(err)
+	}
+	if analyses[1], err = rmtest.AnalyzePipelineStatic(&s3.Scheme2, s3.Interference); err != nil {
+		t.Fatal(err)
+	}
+
+	schemes := []string{"scheme2", "scheme3"}
+	for i, an := range analyses {
+		if an.Platform == nil {
+			t.Fatalf("%s: static pipeline did not produce a platform report", schemes[i])
+		}
+		checked := 0
+		for _, r := range an.Platform.Tasks {
+			if !r.Schedulable {
+				continue // no meaningful bound for starved tasks
+			}
+			name := r.Task.Name
+			mresp, ok := measured[i].Resp[name]
+			if !ok {
+				t.Errorf("%s: schedulable task %q completed no release in the trace", schemes[i], name)
+				continue
+			}
+			checked++
+			if mresp > r.Response {
+				t.Errorf("%s: task %q measured response %v > static bound %v",
+					schemes[i], name, mresp, r.Response)
+			}
+			if mb := measured[i].Block[name]; mb > r.Task.Blocking {
+				t.Errorf("%s: task %q measured blocking %v > static B=%v",
+					schemes[i], name, mb, r.Task.Blocking)
+			}
+		}
+		if checked == 0 {
+			t.Errorf("%s: dominance check covered no task", schemes[i])
+		}
+	}
+}
+
+// TestScheme2PlatformRegression pins the scheme-2 platform report: no
+// fatal findings, every pipeline task schedulable, zero blocking (the
+// pipeline is wait-free by construction), and the conservative inQ
+// capacity warning.
+func TestScheme2PlatformRegression(t *testing.T) {
+	an, err := rmtest.AnalyzePipelineStatic(rmtest.Scheme2().(*rmtest.Scheme2Config), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := an.Platform
+	if n := len(plat.Fatal()); n != 0 {
+		t.Fatalf("scheme2 platform: want 0 fatal findings, got %d:\n%s", n, plat)
+	}
+	for _, r := range plat.Tasks {
+		if !r.Schedulable {
+			t.Errorf("scheme2 task %q not schedulable: R=%v", r.Task.Name, r.Response)
+		}
+		if r.Task.Blocking != 0 {
+			t.Errorf("scheme2 task %q has blocking %v, want 0 (TrySend/TryRecv only)",
+				r.Task.Name, r.Task.Blocking)
+		}
+	}
+	var codes []string
+	for _, f := range plat.Findings {
+		codes = append(codes, f.Code+":"+f.Where)
+	}
+	if want := []string{"queue-capacity:inQ"}; !reflect.DeepEqual(codes, want) {
+		t.Errorf("scheme2 findings = %v, want %v", codes, want)
+	}
+	if len(plat.Queues) != 2 || plat.Queues[1].Name != "outQ" || plat.Queues[1].Required < 0 {
+		t.Errorf("outQ should have a finite bound, got %+v", plat.Queues)
+	}
+}
+
+// TestScheme3PlatformRegression pins the scheme-3 interference
+// platform's findings: the netdrv bursts statically starve every task
+// below priority 4, which surfaces as blocking-unschedulable warnings
+// for the whole pipeline (and logger/housekeeping) plus unbounded queue
+// backlogs — the static anticipation of Table I's scheme-3 violations.
+func TestScheme3PlatformRegression(t *testing.T) {
+	s3 := rmtest.Scheme3().(*rmtest.Scheme3Config)
+	an, err := rmtest.AnalyzePipelineStatic(&s3.Scheme2, s3.Interference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := an.Platform
+	if n := len(plat.Fatal()); n != 0 {
+		t.Fatalf("scheme3 platform: want 0 fatal findings, got %d:\n%s", n, plat)
+	}
+	got := map[string]bool{}
+	for _, f := range plat.Findings {
+		got[f.Code+":"+f.Where] = true
+	}
+	want := []string{
+		"blocking-unschedulable:sense",
+		"blocking-unschedulable:codeM",
+		"blocking-unschedulable:actuate",
+		"blocking-unschedulable:logger",
+		"blocking-unschedulable:housekeeping",
+		"queue-capacity:inQ",
+		"queue-capacity:outQ",
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("scheme3 findings missing %q:\n%s", w, plat)
+		}
+	}
+	if len(plat.Findings) != len(want) {
+		t.Errorf("scheme3 finding count = %d, want %d:\n%s", len(plat.Findings), len(want), plat)
+	}
+	sched := map[string]bool{}
+	for _, r := range plat.Tasks {
+		sched[r.Task.Name] = r.Schedulable
+	}
+	if !sched["netdrv"] {
+		t.Error("netdrv (highest priority) must be schedulable")
+	}
+	for _, name := range []string{"sense", "codeM", "actuate"} {
+		if sched[name] {
+			t.Errorf("pipeline task %q should be statically unschedulable under netdrv", name)
+		}
+	}
+	// The end-to-end prediction agrees: scheme 3 cannot meet REQ1.
+	if an.Bound >= 0 || an.PredictConforms {
+		t.Errorf("scheme3 prediction = (bound %v, conforms %v), want unschedulable", an.Bound, an.PredictConforms)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"rmtest/internal/report"
 	"rmtest/internal/rta"
 	"rmtest/internal/rtos"
+	"rmtest/internal/schedlint"
 	"rmtest/internal/sim"
 	"rmtest/internal/statechart"
 	"rmtest/internal/verify"
@@ -464,6 +465,60 @@ func RenderLint(rep *LintReport) string { return report.LintText(rep) }
 
 // RenderLintJSON exports a lint report as indented JSON.
 func RenderLintJSON(rep *LintReport) ([]byte, error) { return report.LintJSON(rep) }
+
+// Platform static-analysis layer (internal/schedlint): lock-order and
+// priority-inversion detection, blocking terms under priority
+// inheritance, and queue-capacity bounds over a declared platform
+// configuration.
+type (
+	// PlatformLintConfig declares the platform: tasks and queues.
+	PlatformLintConfig = schedlint.Config
+	// PlatformTaskSpec declares one task's scheduling parameters and
+	// resource usage.
+	PlatformTaskSpec = schedlint.TaskSpec
+	// CriticalSection is one lock-guarded section (possibly nested).
+	CriticalSection = schedlint.Section
+	// PlatformQueueSpec declares one FIFO queue.
+	PlatformQueueSpec = schedlint.QueueSpec
+	// PlatformQueueUse declares one task's per-release queue traffic.
+	PlatformQueueUse = schedlint.QueueUse
+	// PlatformReport is the platform static-analysis outcome.
+	PlatformReport = schedlint.Report
+	// PipelineWCET carries the WCET and traffic inputs of the scheme
+	// pipeline's static model.
+	PipelineWCET = platform.PipelineWCET
+)
+
+// PlatformLint statically analyses a declared platform configuration.
+func PlatformLint(cfg PlatformLintConfig) (*PlatformReport, error) {
+	return schedlint.Analyze(cfg)
+}
+
+// RenderPlatformLint renders a platform lint report as human text.
+func RenderPlatformLint(rep *PlatformReport) string { return report.PlatformText(rep) }
+
+// RenderPlatformLintJSON exports a platform lint report as indented JSON.
+func RenderPlatformLintJSON(rep *PlatformReport) ([]byte, error) { return report.PlatformJSON(rep) }
+
+// RenderCombinedLintJSON exports a chart lint report and a platform lint
+// report as one JSON document.
+func RenderCombinedLintJSON(chart *LintReport, plat *PlatformReport) ([]byte, error) {
+	return report.CombinedLintJSON(chart, plat)
+}
+
+// MeasuredResponses extracts each task's worst observed response time
+// from a scheduler trace — the measured counterpart of the static
+// response-time bounds, used by the dominance cross-checks.
+func MeasuredResponses(recs []rtos.TraceRecord) map[string]Time {
+	return schedlint.MeasuredResponses(recs)
+}
+
+// MeasuredBlocking extracts each task's worst observed per-release
+// blocking from a scheduler trace — the measured counterpart of the
+// static blocking terms.
+func MeasuredBlocking(recs []rtos.TraceRecord) map[string]Time {
+	return schedlint.MeasuredBlocking(recs)
+}
 
 // Railroad-crossing case study re-exports (the second worked example).
 var (
