@@ -593,3 +593,34 @@ func BenchmarkMonitorOnlineVsPostHoc(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaignFaulted measures the fault-attribution sweep: the
+// Table I scenario once per catalogue fault plan (10 plans, 10 samples
+// each) on the campaign engine. The allocs/run metric is the GC-churn
+// gate for the fault layer: arming a plan is a handful of window events
+// on the pooled kernel, and the unfaulted baseline plan must ride the
+// same zero-alloc scratch-reuse path as the plain campaign.
+func BenchmarkCampaignFaulted(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			runsPerIter := 0
+			for i := 0; i < b.N; i++ {
+				res, err := rmtest.FaultSweep(rmtest.FaultSweepOptions{
+					Samples: 10, Seed: 42, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One M-level campaign run per catalogue plan.
+				runsPerIter = len(res.Attributions)
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*runsPerIter), "allocs/run")
+		})
+	}
+}

@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online]
+//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online] [-faults]
 //	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta] [-platform scheme2|scheme3]
+//
+// With -faults the command runs the fault-attribution experiment
+// instead of the single R-M flow: the REQ1 bolus scenario on scheme2,
+// once per catalogue fault plan, printing the attribution table that
+// checks M-testing blames each injected fault's expected delay segment
+// (-n, -seed and -online compose with it).
 //
 // The lint subcommand runs the static-analysis layer on a shipped chart:
 // model-level findings (reachability, guard determinism, variable usage,
@@ -44,7 +50,24 @@ func main() {
 	cover := flag.Bool("coverage", false, "measure test adequacy and suggest extra stimuli")
 	rtaFlag := flag.Bool("rta", false, "print the analytic response-time prediction for the scheme")
 	online := flag.Bool("online", false, "evaluate verdicts with the streaming monitor (early termination); verdicts are identical, monitor stats are printed")
+	faultsFlag := flag.Bool("faults", false, "run the fault-attribution experiment (REQ1 on scheme2, one run per catalogue fault plan)")
 	flag.Parse()
+
+	if *faultsFlag {
+		res, err := rmtest.FaultSweep(rmtest.FaultSweepOptions{
+			Samples: *n, Seed: *seed, Online: *online,
+		})
+		if err != nil {
+			fail("faults: %v", err)
+		}
+		fmt.Println("== fault attribution (REQ1, scheme2) ==")
+		fmt.Print(rmtest.RenderFaultTable(res.Attributions))
+		if *online {
+			fmt.Println("\n== online monitor ==")
+			fmt.Print(rmtest.RenderMonitorStats(res.Stats))
+		}
+		return
+	}
 
 	var req rmtest.Requirement
 	switch *reqName {

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online]
+//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online] [-faults]
+//
+// With -faults the command runs the fault-injection sweep instead: the
+// Table I scenario once per catalogue fault plan on scheme2, printing
+// the fault-attribution table (or CSV with -csv). -workers, -online,
+// -seed, -n and -progress compose with it; results are byte-identical
+// for any worker count, online or post-hoc.
 package main
 
 import (
@@ -26,7 +32,33 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	progress := flag.Bool("progress", false, "report campaign progress and throughput on stderr")
 	online := flag.Bool("online", false, "evaluate verdicts with the streaming monitor (early termination); output is identical, monitor stats go to stderr")
+	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep and print the fault-attribution table")
 	flag.Parse()
+
+	if *faultsFlag {
+		fopt := rmtest.FaultSweepOptions{
+			Samples: *n, Seed: *seed, Workers: *workers, Online: *online,
+		}
+		if *progress {
+			fopt.Progress = func(p rmtest.CampaignProgress) {
+				fmt.Fprintln(os.Stderr, "tablei:", p)
+			}
+		}
+		res, err := rmtest.FaultSweep(fopt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablei:", err)
+			os.Exit(1)
+		}
+		if *online {
+			fmt.Fprint(os.Stderr, rmtest.RenderMonitorStats(res.Stats))
+		}
+		if *csv {
+			fmt.Print(rmtest.RenderFaultCSV(res.Attributions))
+			return
+		}
+		fmt.Print(rmtest.RenderFaultTable(res.Attributions))
+		return
+	}
 
 	opt := rmtest.TableIOptions{
 		Samples: *n, Seed: *seed, ForceM: *forceM, Workers: *workers,

@@ -7,6 +7,7 @@ import (
 	"rmtest/internal/campaign"
 	"rmtest/internal/codegen"
 	"rmtest/internal/core"
+	"rmtest/internal/faults"
 	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
 	"rmtest/internal/lint"
@@ -571,6 +572,137 @@ func requirementsMatrix(samples int, seed uint64, workers int, online bool) ([]M
 		}
 	}
 	return cells, stats, nil
+}
+
+// FaultSweepOptions parameterises the fault-attribution sweep.
+type FaultSweepOptions struct {
+	// Samples is the number of test samples per fault plan.
+	Samples int
+	// Seed drives both the stimulus jitter and, through the campaign
+	// engine's per-run seed chain, every seeded fault stream.
+	Seed uint64
+	// Workers bounds the campaign worker pool; 0 means GOMAXPROCS. Any
+	// value produces byte-identical results.
+	Workers int
+	// Online switches verdict extraction to the streaming monitor with
+	// early termination; results are identical, stats become available.
+	Online bool
+	// Progress, when set, receives a snapshot after every completed run.
+	Progress func(campaign.Progress)
+}
+
+// FaultSweepResult bundles the fault sweep's outputs: one attribution
+// row and one full M-testing result per catalogue plan, in catalogue
+// order (index 0 is the unfaulted baseline). Stats is populated on the
+// online path only, one entry per plan.
+type FaultSweepResult struct {
+	Attributions []faults.Attribution
+	Results      []core.MResult
+	Stats        []monitor.Stats
+}
+
+// FaultCatalog returns the sweep's fault plans for the scheme-2 pump
+// pipeline: one plan per fault class, each aimed at the component on
+// the REQ1 bolus path whose damage the class's expected segment should
+// absorb, plus the empty baseline plan the attributions are judged
+// against. Windows cover the whole horizon except the WCET overrun:
+// CODE(M) writes its output variable early in the step (the o-event)
+// but delivers it to the output queue only when the whole invocation —
+// including elapsed-tick catch-up — finishes, so a sustained overrun
+// damages measured *output* delay more than code delay. The overrun
+// plan therefore brackets just the first stimulus's drain release
+// ([70ms, 1.3s] around the 80ms release that consumes the ~64ms press)
+// with a scale big enough that the stretched step cannot produce its
+// o-event inside the requirement timeout: the MAX trisection (i seen,
+// o missing) then localises the starvation to CODE(M).
+func FaultCatalog(horizon sim.Time) []faults.Plan {
+	ms := time.Millisecond
+	return []faults.Plan{
+		{Name: "baseline"},
+		{Name: "sensor-latency", Faults: []faults.Fault{
+			{Class: faults.SensorLatency, Target: "bolus_button", Duration: horizon, Max: 120 * ms}}},
+		{Name: "actuator-latency", Faults: []faults.Fault{
+			{Class: faults.ActuatorLatency, Target: "pump_motor", Duration: horizon, Max: 100 * ms}}},
+		{Name: "task-overrun", Faults: []faults.Fault{
+			{Class: faults.TaskOverrun, Target: "codeM", Start: 70 * ms, Duration: 1230 * ms, Num: 10000, Den: 1}}},
+		{Name: "queue-drop", Faults: []faults.Fault{
+			{Class: faults.QueueDrop, Target: "inQ", Duration: horizon, Every: 1}}},
+		{Name: "clock-drift", Faults: []faults.Fault{
+			{Class: faults.ClockDrift, Target: "bolus_button", Duration: horizon, PPM: 15_000_000}}},
+		{Name: "sensor-stuck", Faults: []faults.Fault{
+			{Class: faults.SensorStuck, Target: "bolus_button", Duration: horizon, Value: 0}}},
+		{Name: "sensor-dropout", Faults: []faults.Fault{
+			{Class: faults.SensorDropout, Target: "bolus_button", Duration: horizon}}},
+		{Name: "actuator-dead", Faults: []faults.Fault{
+			{Class: faults.ActuatorDead, Target: "pump_motor", Duration: horizon}}},
+		{Name: "isr-storm", Faults: []faults.Fault{
+			{Class: faults.ISRStorm, Duration: horizon, Period: 2 * ms, Cost: 1800 * time.Microsecond}}},
+	}
+}
+
+// FaultSweep runs the fault-attribution experiment: the Table I bolus
+// scenario on the scheme-2 pipeline, once per catalogue fault plan,
+// each run M-instrumented so the damage lands in measured delay
+// segments. Every run is an independent deterministic simulation, so
+// the sweep executes on the campaign engine; each plan's seeded fault
+// streams derive from the campaign's per-run seed chain, making results
+// byte-identical at any worker count, online or post-hoc.
+func FaultSweep(opt FaultSweepOptions) (FaultSweepResult, error) {
+	if opt.Samples <= 0 {
+		opt.Samples = 10
+	}
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: opt.Samples, Start: 50 * time.Millisecond,
+		Spacing: 4500 * time.Millisecond, Strategy: core.JitteredSpacing,
+		Jitter: 200 * time.Millisecond, Seed: opt.Seed,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	plans := FaultCatalog(tc.Horizon(req))
+	pb, err := gpca.Precompile()
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	cfg := campaign.Config{Workers: opt.Workers, Seed: opt.Seed, OnProgress: opt.Progress}
+	outs, err := campaign.Values(campaign.MapScratch(cfg, len(plans),
+		func() *platform.Scratch { return &platform.Scratch{} },
+		func(run campaign.Run, sc *platform.Scratch) (tableIRun[core.MResult], error) {
+			plan := plans[run.Index]
+			factory := gpca.FactoryPrebuilt(pb, func() platform.Scheme { return platform.DefaultScheme2() }, sc)
+			if opt.Online {
+				runner, err := monitor.NewRunner(factory, req)
+				if err != nil {
+					return tableIRun[core.MResult]{}, err
+				}
+				runner.Post.Prepare = faults.Prepare(plan, run.Seed)
+				runner.EarlyStop = true
+				mr, st, err := runner.RunM(tc)
+				return tableIRun[core.MResult]{res: mr, stats: st}, err
+			}
+			runner, err := core.NewRunner(factory, req)
+			if err != nil {
+				return tableIRun[core.MResult]{}, err
+			}
+			runner.Prepare = faults.Prepare(plan, run.Seed)
+			mr, err := runner.RunM(tc)
+			return tableIRun[core.MResult]{res: mr}, err
+		}))
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	res := FaultSweepResult{}
+	base := outs[0].res
+	for i, o := range outs {
+		res.Results = append(res.Results, o.res)
+		res.Attributions = append(res.Attributions, faults.Attribute(plans[i], base, o.res))
+		if opt.Online {
+			res.Stats = append(res.Stats, o.stats)
+		}
+	}
+	return res, nil
 }
 
 // SweepPoint is one configuration of the A2 sensitivity ablation.

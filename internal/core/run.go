@@ -76,6 +76,13 @@ type MSample struct {
 	// path starved.
 	IObserved bool
 	IEvent    fourvar.Event
+	// OObserved reports whether CODE(M) produced an o-event (wrote the
+	// mapped output variable) within the timeout. Together with
+	// IObserved it trisects a MAX loss: no i — input path; i but no o —
+	// CODE(M) starved; o but no c — output device. Fault attribution
+	// leans on this split for response-suppressing faults.
+	OObserved bool
+	OEvent    fourvar.Event
 }
 
 // MResult is the outcome of M-testing one test case (goal G2).
@@ -139,10 +146,20 @@ func (r *Runner) Setup(level platform.Instrument, tc TestCase) (*platform.System
 	if err != nil {
 		return nil, err
 	}
+	// A Prepare hook (fault plans arrive through it) may panic; the
+	// campaign engine isolates the panic, but the half-built system's
+	// task goroutines would leak without a shutdown on the way out.
+	done := false
+	defer func() {
+		if !done {
+			sys.Shutdown()
+		}
+	}()
 	r.applyStimuli(sys, tc)
 	if r.Prepare != nil {
 		r.Prepare(sys, tc)
 	}
+	done = true
 	return sys, nil
 }
 
@@ -255,6 +272,13 @@ func (r *Runner) AnnotateM(sys *platform.System, tc TestCase, base []SampleResul
 				ie.At-s.MEvent.At <= r.Req.EffectiveTimeout() {
 				ms.IObserved = true
 				ms.IEvent = ie
+			}
+		}
+		if s.MObserved && oName != "" {
+			if oe, ok := sys.Trace.FirstAt(fourvar.Output, oName, s.MEvent.At, nil); ok &&
+				oe.At-s.MEvent.At <= r.Req.EffectiveTimeout() {
+				ms.OObserved = true
+				ms.OEvent = oe
 			}
 		}
 		if s.MObserved && s.CObserved && iName != "" && oName != "" {

@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"rmtest/internal/core"
+	"rmtest/internal/sim"
+)
+
+// Attribution summarises how M-testing localised the damage of one
+// faulted campaign run, judged against an unfaulted baseline of the
+// same scenario. It is the row type of the fault-attribution table.
+type Attribution struct {
+	// Plan names the fault plan; Class and Target echo its primary
+	// (first) fault, ClassNone for the empty baseline plan.
+	Plan   string
+	Class  Class
+	Target string
+	// Verdict tally across the faulted run's samples.
+	Pass, Fail, Max int
+	// Expected is the segment the fault class should damage
+	// (Class.ExpectedSegment); Attributed is the segment the
+	// M-measurements actually blame, SegNone when no sample produced an
+	// attributable violation.
+	Expected   core.Segment
+	Attributed core.Segment
+	// Match reports Attributed == Expected.
+	Match bool
+	// DInput/DCode/DOutput are the mean per-segment deltas of the
+	// faulted run's chain-complete samples against the baseline means —
+	// the measured damage profile. Zero when no faulted sample has a
+	// full chain (all-MAX plans).
+	DInput, DCode, DOutput sim.Time
+}
+
+// ClassNone is the pseudo-class of the empty (baseline) plan.
+const ClassNone Class = -1
+
+// Primary returns the plan's first fault, reporting false for the
+// empty plan.
+func (p Plan) Primary() (Fault, bool) {
+	if len(p.Faults) == 0 {
+		return Fault{}, false
+	}
+	return p.Faults[0], true
+}
+
+// Attribute judges one faulted M-testing result against the unfaulted
+// baseline result of the same scenario. Each violating sample casts one
+// vote:
+//
+//   - a Fail with a full m->i->o->c chain votes for the segment whose
+//     measured delay grew the most over the baseline mean;
+//   - a MAX with no i-event votes Input (the stimulus never crossed the
+//     input path);
+//   - a MAX with an i-event but no o-event votes CODE(M) (the chart saw
+//     the stimulus but never produced the response);
+//   - a MAX with an o-event but no c-event votes Output (the response
+//     was computed but never actuated);
+//   - samples whose stimulus never registered at all abstain.
+//
+// The majority segment wins; ties break in pipeline order (input,
+// code, output), which is deterministic and favours the earliest layer
+// that could explain the damage.
+func Attribute(plan Plan, base, faulted core.MResult) Attribution {
+	a := Attribution{Plan: plan.Name, Class: ClassNone, Expected: core.SegNone}
+	if f, ok := plan.Primary(); ok {
+		a.Class = f.Class
+		a.Target = f.Target
+		a.Expected = f.Class.ExpectedSegment()
+	}
+	bs := core.NewSegmentStats(base)
+	var votes [3]int // indexed by SegInput, SegCode, SegOutput
+	var din, dcode, dout sim.Time
+	chains := 0
+	for _, s := range faulted.Samples {
+		if s.SegmentsOK {
+			chains++
+			din += s.Segments.InputDelay() - bs.Input.Mean
+			dcode += s.Segments.CodeDelay() - bs.Code.Mean
+			dout += s.Segments.OutputDelay() - bs.Output.Mean
+		}
+		switch s.Verdict {
+		case core.Pass:
+			continue
+		case core.Max:
+			a.Max++
+			switch {
+			case !s.MObserved:
+				// The stimulus never registered; nothing to attribute.
+			case !s.IObserved:
+				votes[core.SegInput]++
+			case !s.OObserved:
+				votes[core.SegCode]++
+			default:
+				votes[core.SegOutput]++
+			}
+		case core.Fail:
+			a.Fail++
+			if !s.SegmentsOK {
+				continue
+			}
+			deltas := [3]sim.Time{
+				core.SegInput:  s.Segments.InputDelay() - bs.Input.Mean,
+				core.SegCode:   s.Segments.CodeDelay() - bs.Code.Mean,
+				core.SegOutput: s.Segments.OutputDelay() - bs.Output.Mean,
+			}
+			best := core.SegInput
+			for _, seg := range []core.Segment{core.SegCode, core.SegOutput} {
+				if deltas[seg] > deltas[best] {
+					best = seg
+				}
+			}
+			votes[best]++
+		}
+	}
+	a.Pass = len(faulted.Samples) - a.Fail - a.Max
+	if chains > 0 {
+		a.DInput = din / sim.Time(chains)
+		a.DCode = dcode / sim.Time(chains)
+		a.DOutput = dout / sim.Time(chains)
+	}
+	a.Attributed = core.SegNone
+	bestVotes := 0
+	for _, seg := range []core.Segment{core.SegInput, core.SegCode, core.SegOutput} {
+		if votes[seg] > bestVotes {
+			bestVotes = votes[seg]
+			a.Attributed = seg
+		}
+	}
+	a.Match = a.Attributed == a.Expected
+	return a
+}

@@ -214,3 +214,120 @@ func TestInjectJitterRejectsNonPositiveBound(t *testing.T) {
 	}()
 	b.Sensor("s").InjectJitter(0, time.Hour, 0, 1)
 }
+
+// TestInjectJitterWindowEdgeSemantics pins the boundary behaviour of the
+// jitter window (satellite S2): the window is half-open at commit-issue
+// time — a commit issued at exactly `from` is jittered, one issued at
+// exactly `from+duration` is not — and an in-flight commit whose delay
+// carries it exactly to the window's end still reaches the latch.
+func TestInjectJitterWindowEdgeSemantics(t *testing.T) {
+	const (
+		seed = uint64(9)
+		max  = 8 * ms
+		from = 10 * ms
+	)
+	// First draw of the jitter stream: the delay the 10ms commit gets.
+	d1 := sim.NewRand(seed | 1).Duration(0, max)
+	if d1 <= 0 {
+		t.Fatalf("test needs a positive first draw, got %v; pick another seed", d1)
+	}
+
+	// Case 1: commit issued at exactly `from` is jittered, and its landing
+	// instant is exactly the window end (duration == d1). It must commit.
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s := b.Sensor("s")
+	s.InjectJitter(from, d1, max, seed) // window [10ms, 10ms+d1)
+	e.SetAt(7*ms, "sig", 1)             // edge seen by the sample at 10ms
+	k.Run(100 * ms)
+	if s.Read() != 1 {
+		t.Fatalf("in-flight commit landing at window end was lost: read=%d", s.Read())
+	}
+	if got := s.LatchedAt(); got != from+d1 {
+		t.Fatalf("latch at %v, want exactly window end %v (= 10ms + first draw %v)", got, from+d1, d1)
+	}
+
+	// Case 2: commit issued at exactly `from+duration` is NOT jittered —
+	// the latch lands on the sample instant itself.
+	k, e, b = board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s = b.Sensor("s")
+	s.InjectJitter(from, 10*ms, max, seed) // window [10ms, 20ms)
+	e.SetAt(17*ms, "sig", 1)               // edge seen by the sample at 20ms == window end
+	k.Run(20 * ms)
+	if s.Read() != 1 || s.LatchedAt() != 20*ms {
+		t.Fatalf("commit at window end must latch immediately: v=%d at=%v", s.Read(), s.LatchedAt())
+	}
+}
+
+func TestInjectDropoutWindowAndResample(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Sensors: []SensorConfig{{Name: "s", Signal: "sig", SamplePeriod: 5 * ms}},
+	})
+	s := b.Sensor("s")
+	s.InjectDropout(10*ms, 12*ms) // readings lost in [10ms, 22ms)
+	e.SetAt(12*ms, "sig", 1)      // edge inside the dropout window
+	k.Run(21 * ms)
+	if s.Read() != 0 {
+		t.Fatal("reading reached the latch during the dropout window")
+	}
+	// Samples at 10, 15, 20ms ran but were discarded.
+	if got := s.DroppedReads(); got != 3 {
+		t.Fatalf("dropped reads = %d, want 3", got)
+	}
+	// The end-of-window resample latches the missed edge immediately, not
+	// at the next sampling instant.
+	k.Run(22 * ms)
+	if s.Read() != 1 || s.LatchedAt() != 22*ms {
+		t.Fatalf("end-of-window resample missed: v=%d at=%v", s.Read(), s.LatchedAt())
+	}
+}
+
+func TestInjectLatencyWindowedAndKept(t *testing.T) {
+	k, e, b := board(t, BoardConfig{
+		Actuators: []ActuatorConfig{
+			{Name: "m", Signal: "sig", Latency: 2 * ms},
+			{Name: "m2", Signal: "sig2", Latency: 2 * ms},
+		},
+	})
+	a := b.Actuator("m")
+	a.InjectLatency(10*ms, 10*ms, 30*ms) // commands in [10ms, 20ms) take +30ms
+	k.At(5*ms, func() { a.Write(1) })    // pre-window: nominal latency
+	k.At(10*ms, func() { a.Write(2) })   // at exactly `from`: stretched
+	k.Run(7 * ms)
+	if e.Get("sig") != 1 {
+		t.Fatalf("pre-window command delayed: sig=%d", e.Get("sig"))
+	}
+	k.Run(41 * ms)
+	if e.Get("sig") != 1 {
+		t.Fatal("stretched command landed early")
+	}
+	// The effect lands at 10+2+30 = 42ms, well past the window close at
+	// 20ms: a command issued in-window keeps its stretched latency.
+	k.Run(42 * ms)
+	if e.Get("sig") != 2 {
+		t.Fatalf("stretched command lost: sig=%d", e.Get("sig"))
+	}
+	// A command issued at exactly `from+duration` is outside the window.
+	a2 := b.Actuator("m2")
+	a2.InjectLatency(52*ms, 10*ms, 30*ms) // window [52ms, 62ms)
+	k.At(62*ms, func() { a2.Write(3) })   // at exactly the window end: nominal
+	k.Run(64 * ms)
+	if e.Get("sig2") != 3 {
+		t.Fatalf("command at window end stretched: sig2=%d", e.Get("sig2"))
+	}
+}
+
+func TestInjectLatencyRejectsNegativeExtra(t *testing.T) {
+	_, _, b := board(t, BoardConfig{
+		Actuators: []ActuatorConfig{{Name: "m", Signal: "sig"}},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InjectLatency with extra<0 must panic")
+		}
+	}()
+	b.Actuator("m").InjectLatency(0, time.Second, -1)
+}

@@ -71,6 +71,10 @@ type Sensor struct {
 	jitSeq     uint64 // commits issued
 	jitApplied uint64 // highest commit that reached the latch
 	jitPending int64  // value of the newest in-flight commit
+	// dropout fault injection: while the window is active sampling
+	// routines run but their readings are discarded before the latch.
+	dropping     bool
+	droppedReads uint64
 }
 
 // Name returns the sensor name.
@@ -115,6 +119,40 @@ func (s *Sensor) InjectStuck(from, duration sim.Time, value int64) {
 	})
 }
 
+// InjectDropout makes the sensor lose every reading from instant `from`
+// for `duration` — a flaky connector or a saturated acquisition bus. The
+// sampling routine keeps running (Samples still advances) but nothing
+// reaches the latch, so an edge occurring inside the window is only seen
+// by the resample at the window's end. Like InjectStuck, the fault
+// manifests as Input-Delay damage: the m-event exists but its i-event is
+// late or missing entirely.
+func (s *Sensor) InjectDropout(from, duration sim.Time) {
+	k := s.env.Kernel()
+	k.At(from, func() { s.dropping = true })
+	k.At(from+duration, func() {
+		s.dropping = false
+		// Resample the physical signal immediately so an edge that
+		// occurred during the dropout is latched at the window's end.
+		if s.stuck {
+			return
+		}
+		s.jitApplied = s.jitSeq
+		if v := s.env.Get(s.cfg.Signal); s.latched != v {
+			s.latched = v
+			s.latchedAt = k.Now()
+		}
+	})
+}
+
+// DroppedReads counts sampling-routine readings lost to an injected
+// dropout fault.
+func (s *Sensor) DroppedReads() uint64 { return s.droppedReads }
+
+// SampleTicker returns the periodic sampling ticker, or nil for
+// interrupt-driven and jittered-period sensors. Fault injection uses it
+// to skew the sampling clock (sim.Ticker.SetDrift).
+func (s *Sensor) SampleTicker() *sim.Ticker { return s.ticker }
+
 // InjectJitter perturbs the sensor's sample latency from instant `from`
 // for `duration`: every latch commit in the window lands after an extra
 // pseudo-random delay in [0, max] — a degraded ISR, a saturated bus, or
@@ -123,6 +161,12 @@ func (s *Sensor) InjectStuck(from, duration sim.Time, value int64) {
 // every run; testing layers rely on that determinism. Delayed commits can
 // overtake one another; the device keeps the newest reading (a stale
 // conversion result never overwrites a fresher one).
+//
+// Window semantics are half-open at issue time: a commit issued at
+// exactly `from` is jittered, one issued at exactly `from+duration` is
+// not. An in-flight commit issued inside the window still reaches the
+// latch even if its delay carries it to or past the window's end — the
+// conversion was already in the pipe when the fault cleared.
 func (s *Sensor) InjectJitter(from, duration, max sim.Time, seed uint64) {
 	if max <= 0 {
 		panic(fmt.Sprintf("hw: InjectJitter with non-positive bound %v", max))
@@ -184,6 +228,10 @@ func (s *Sensor) sample() {
 	if s.stuck {
 		return
 	}
+	if s.dropping {
+		s.droppedReads++
+		return
+	}
 	v := s.env.Get(s.cfg.Signal)
 	need := s.cfg.Debounce
 	if need <= 1 {
@@ -213,6 +261,10 @@ func (s *Sensor) start() {
 		// Interrupt-driven: latch on every signal change.
 		s.env.Watch(s.cfg.Signal, func(_ string, _, now int64, at sim.Time) {
 			if s.stuck || s.newestVal() == now {
+				return
+			}
+			if s.dropping {
+				s.droppedReads++
 				return
 			}
 			s.commit(now)
@@ -266,6 +318,11 @@ type Actuator struct {
 	deadFrom sim.Time
 	deadTo   sim.Time
 	ignored  uint64
+	// latency excursion fault: commands issued inside the window take
+	// extra time on top of the configured latency.
+	slowFrom  sim.Time
+	slowTo    sim.Time
+	slowExtra sim.Time
 }
 
 // Name returns the actuator name.
@@ -290,8 +347,32 @@ func (a *Actuator) InjectDead(from, duration sim.Time) {
 // IgnoredCommands counts commands dropped by an injected fault.
 func (a *Actuator) IgnoredCommands() uint64 { return a.ignored }
 
+// InjectLatency stretches the actuator's command-to-effect delay by
+// `extra` for commands issued from instant `from` for `duration` — a
+// tired motor, a cold relay, a congested field bus. A command issued
+// inside the window keeps its stretched latency even if the physical
+// effect lands after the window closes; commands issued outside the
+// window are unaffected. Output-Delay damage in the paper's terms.
+func (a *Actuator) InjectLatency(from, duration, extra sim.Time) {
+	if extra < 0 {
+		panic(fmt.Sprintf("hw: InjectLatency with negative extra %v", extra))
+	}
+	a.slowFrom = from
+	a.slowTo = from + duration
+	a.slowExtra = extra
+}
+
 func (a *Actuator) dead(now sim.Time) bool {
 	return a.deadTo > a.deadFrom && now >= a.deadFrom && now < a.deadTo
+}
+
+// latency is the command-to-effect delay for a command issued now.
+func (a *Actuator) latency(now sim.Time) sim.Time {
+	d := a.cfg.Latency
+	if a.slowTo > a.slowFrom && now >= a.slowFrom && now < a.slowTo {
+		d += a.slowExtra
+	}
+	return d
 }
 
 // Write commands the actuator to drive its signal to v. The physical
@@ -308,11 +389,11 @@ func (a *Actuator) Write(v int64) {
 	}
 	a.lastCmd = v
 	a.commands++
-	if a.cfg.Latency <= 0 {
+	if d := a.latency(k.Now()); d > 0 {
+		k.After(d, func() { a.env.Set(a.cfg.Signal, v) })
+	} else {
 		a.env.Set(a.cfg.Signal, v)
-		return
 	}
-	k.After(a.cfg.Latency, func() { a.env.Set(a.cfg.Signal, v) })
 }
 
 // BoardConfig wires a set of devices to environment signals.
@@ -368,6 +449,14 @@ func NewBoard(e *env.Environment, cfg BoardConfig) (*Board, error) {
 	}
 	return b, nil
 }
+
+// LookupSensor returns a sensor by name, or nil when the board has no
+// such sensor. Fault injection uses it to validate targets gracefully.
+func (b *Board) LookupSensor(name string) *Sensor { return b.sensors[name] }
+
+// LookupActuator returns an actuator by name, or nil when the board has
+// no such actuator.
+func (b *Board) LookupActuator(name string) *Actuator { return b.actuators[name] }
 
 // Sensor returns a sensor by name; it panics on unknown names.
 func (b *Board) Sensor(name string) *Sensor {

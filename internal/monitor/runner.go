@@ -39,6 +39,15 @@ func (r *Runner) run(level platform.Instrument, tc core.TestCase) (*platform.Sys
 	if err != nil {
 		return nil, nil, err
 	}
+	// The callers only arm their deferred Shutdown once run returns; a
+	// panic during the simulation (e.g. inside a fault callback) must
+	// not leak the system's task goroutines.
+	done := false
+	defer func() {
+		if !done {
+			sys.Shutdown()
+		}
+	}()
 	mon.Attach(sys, r.EarlyStop)
 	horizon := tc.Horizon(r.Post.Req)
 	kernelBefore := sys.Kernel.EventsFired()
@@ -48,6 +57,7 @@ func (r *Runner) run(level platform.Instrument, tc core.TestCase) (*platform.Sys
 	mon.stats.StoppedEarly = sys.Kernel.Now() < horizon
 	mon.stats.KernelEvents = sys.Kernel.EventsFired() - kernelBefore
 	mon.stats.Label = sys.SchemeName() + "/" + level.String()
+	done = true
 	return sys, mon, nil
 }
 

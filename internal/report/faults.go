@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rmtest/internal/faults"
+)
+
+// FaultCSV renders the fault-attribution table for machine consumption:
+// one row per fault plan with the verdict tally, the expected vs
+// attributed segment and the mean per-segment damage against the
+// unfaulted baseline.
+func FaultCSV(attrs []faults.Attribution) string {
+	var b strings.Builder
+	b.WriteString("plan,class,target,pass,fail,max,expected,attributed,match,d_input_ms,d_code_ms,d_output_ms\n")
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "%s,%v,%s,%d,%d,%d,%v,%v,%v,%s,%s,%s\n",
+			a.Plan, a.Class, a.Target, a.Pass, a.Fail, a.Max,
+			a.Expected, a.Attributed, a.Match,
+			msStr(a.DInput), msStr(a.DCode), msStr(a.DOutput))
+	}
+	return b.String()
+}
+
+// FaultTable renders the fault-attribution table for humans: which
+// delay segment each injected fault class was expected to damage, which
+// segment M-testing actually blamed, and the measured damage profile.
+func FaultTable(attrs []faults.Attribution) string {
+	if len(attrs) == 0 {
+		return "(no fault plans)\n"
+	}
+	var b strings.Builder
+	b.WriteString("Fault attribution: expected vs measured damage segment per fault plan\n")
+	b.WriteString("(deltas are mean per-segment delay increases over the unfaulted baseline, ms)\n\n")
+	fmt.Fprintf(&b, "%-18s %-14s %4s %4s %4s  %-13s %-13s %-5s %9s %9s %9s\n",
+		"plan", "target", "pass", "fail", "max", "expected", "attributed", "match",
+		"d_input", "d_codem", "d_output")
+	b.WriteString(strings.Repeat("-", 112))
+	b.WriteByte('\n')
+	for _, a := range attrs {
+		match := "-"
+		if a.Class != faults.ClassNone {
+			match = "no"
+			if a.Match {
+				match = "yes"
+			}
+		}
+		fmt.Fprintf(&b, "%-18s %-14s %4d %4d %4d  %-13v %-13v %-5s %9s %9s %9s\n",
+			a.Plan, a.Target, a.Pass, a.Fail, a.Max,
+			a.Expected, a.Attributed, match,
+			msStr(a.DInput), msStr(a.DCode), msStr(a.DOutput))
+	}
+	return b.String()
+}

@@ -29,6 +29,17 @@ type Queue struct {
 	enqAt     []sim.Time // enqueue instant per buffered item
 	totalWait sim.Time
 	waitCount uint64
+
+	// In-transit-loss fault: while the window is active every
+	// dropEvery-th send vanishes between sender and queue. The sender
+	// observes success — corrupted frames on a bus are invisible to the
+	// producer — so the loss surfaces only downstream, as a consumer
+	// that never receives the value.
+	dropFrom     sim.Time
+	dropTo       sim.Time
+	dropEvery    int
+	dropCount    uint64
+	faultDropped uint64
 }
 
 type sendWaiter struct {
@@ -37,9 +48,13 @@ type sendWaiter struct {
 }
 
 // NewQueue creates a queue with the given capacity; capacity <= 0 means
-// unbounded.
+// unbounded. The queue is registered under its name for by-name lookup
+// (Scheduler.Queue); a later queue with the same name shadows the
+// earlier registration.
 func (s *Scheduler) NewQueue(name string, capacity int) *Queue {
-	return &Queue{sched: s, name: name, cap: capacity}
+	q := &Queue{sched: s, name: name, cap: capacity}
+	s.queues[name] = q
+	return q
 }
 
 // Name returns the queue's name.
@@ -68,6 +83,37 @@ func (q *Queue) MeanWait() sim.Time {
 		return 0
 	}
 	return q.totalWait / sim.Time(q.waitCount)
+}
+
+// InjectDrop arms the in-transit-loss fault: from instant `from` for
+// `duration`, every `every`-th value sent to the queue (counting from
+// the window's first send) is silently lost. every <= 1 loses every
+// send. Both the task-context send path and SendFromISR are affected;
+// blocked sends that deliver on wakeup are not (the value is already
+// inside the kernel by then).
+func (q *Queue) InjectDrop(from, duration sim.Time, every int) {
+	q.dropFrom = from
+	q.dropTo = from + duration
+	if every < 1 {
+		every = 1
+	}
+	q.dropEvery = every
+	q.dropCount = 0
+}
+
+// FaultDropped counts values lost to the injected in-transit fault.
+// They are not included in Dropped, which counts capacity rejections
+// the sender observed.
+func (q *Queue) FaultDropped() uint64 { return q.faultDropped }
+
+// faultDrop reports whether a send happening now is lost to the
+// injected fault, advancing the every-th counter.
+func (q *Queue) faultDrop(now sim.Time) bool {
+	if q.dropTo <= q.dropFrom || now < q.dropFrom || now >= q.dropTo {
+		return false
+	}
+	q.dropCount++
+	return q.dropCount%uint64(q.dropEvery) == 0
 }
 
 func (q *Queue) full() bool { return q.cap > 0 && len(q.items) >= q.cap }
@@ -118,6 +164,11 @@ func removeTask(waiters []*Task, t *Task) []*Task {
 // send implements the task-context send path; called by the scheduler with
 // t == s.current.
 func (q *Queue) send(t *Task, v any, timeout sim.Time, hasTimeout bool) {
+	if q.faultDrop(q.sched.k.Now()) {
+		q.faultDropped++
+		t.blockOK = true // the sender saw a successful send
+		return
+	}
 	if !q.full() {
 		q.deliver(v)
 		t.blockOK = true
@@ -217,6 +268,11 @@ func (q *Queue) recv(t *Task, timeout sim.Time, hasTimeout bool) {
 // as a FreeRTOS xQueueSendFromISR would fail. It must not be called from a
 // task body.
 func (q *Queue) SendFromISR(v any) bool {
+	if q.faultDrop(q.sched.k.Now()) {
+		q.faultDropped++
+		q.sched.kick()
+		return true // the ISR saw a successful post
+	}
 	if q.full() {
 		q.dropped++
 		return false

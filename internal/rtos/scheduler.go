@@ -63,6 +63,8 @@ type Scheduler struct {
 	idleTime    sim.Time
 	switches    uint64
 	preempts    uint64
+	queues      map[string]*Queue
+	stormISRs   uint64
 }
 
 // New returns a scheduler bound to kernel k.
@@ -71,7 +73,7 @@ func New(k *sim.Kernel, cfg Config) *Scheduler {
 	if cap <= 0 {
 		cap = 4096
 	}
-	return &Scheduler{k: k, cfg: cfg, trace: newTrace(cap)}
+	return &Scheduler{k: k, cfg: cfg, trace: newTrace(cap), queues: make(map[string]*Queue)}
 }
 
 // Kernel returns the underlying simulation kernel.
@@ -100,6 +102,49 @@ func (s *Scheduler) IdleTime() sim.Time {
 
 // Tasks returns all tasks ever spawned, in spawn order.
 func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// TaskByName returns the task with the given name, or nil when no such
+// task has been spawned. Fault injection uses it to address overrun
+// targets declared by name.
+func (s *Scheduler) TaskByName(name string) *Task {
+	for _, t := range s.tasks {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Queue returns the queue created under the given name, or nil when no
+// such queue exists. Fault injection uses it to address drop targets
+// declared by name.
+func (s *Scheduler) Queue(name string) *Queue { return s.queues[name] }
+
+// InjectISRStorm fires a spurious interrupt of the given CPU cost every
+// `period` from instant `from` for `duration` — a chattering device or a
+// mis-configured peripheral raising interrupts with no work behind them.
+// Each interrupt steals CPU from whatever burst or context switch is in
+// flight, exactly like a real ISR, so the damage lands wherever the
+// pipeline happens to be executing.
+func (s *Scheduler) InjectISRStorm(from, duration, period, cost sim.Time) {
+	if period <= 0 {
+		panic(fmt.Sprintf("rtos: InjectISRStorm with non-positive period %v", period))
+	}
+	to := from + duration
+	var tick func()
+	tick = func() {
+		if s.k.Now() >= to {
+			return
+		}
+		s.stormISRs++
+		s.Interrupt(cost, nil)
+		s.k.After(period, tick)
+	}
+	s.k.At(from, tick)
+}
+
+// StormISRs counts interrupts fired by injected ISR storms.
+func (s *Scheduler) StormISRs() uint64 { return s.stormISRs }
 
 // Spawn creates a task and schedules its first activation at time start
 // (which must not be in the past). Higher prio values run first, matching
@@ -478,7 +523,12 @@ func (s *Scheduler) wake(t *Task) {
 func (s *Scheduler) handle(t *Task, r request) {
 	switch r.kind {
 	case reqCompute:
-		t.pendingCompute = r.dur
+		// Apply any WCET-overrun fault at burst issue time. The task
+		// already charged r.dur to its CPU accounting, so only the
+		// fault-induced delta is added here.
+		d := t.overrun(s.k.Now(), r.dur)
+		t.cpuTime += d - r.dur
+		t.pendingCompute = d
 	case reqSleep:
 		if r.until <= s.k.Now() {
 			// Zero or past deadline: behave like a yield.

@@ -104,6 +104,13 @@ type Task struct {
 	period         sim.Time // for periodic tasks; 0 otherwise
 	releases       uint64
 	missedReleases uint64
+
+	// WCET-overrun fault: compute bursts issued inside the window are
+	// scaled by ovNum/ovDen (applied by the scheduler's reqCompute path).
+	ovFrom sim.Time
+	ovTo   sim.Time
+	ovNum  int64
+	ovDen  int64
 }
 
 // Name returns the task's name.
@@ -140,6 +147,31 @@ func (t *Task) Releases() uint64 { return t.releases }
 // MissedReleases returns how many periodic releases were skipped because
 // the previous instance overran (a symptom of CPU starvation).
 func (t *Task) MissedReleases() uint64 { return t.missedReleases }
+
+// InjectOverrun scales every compute burst the task issues from instant
+// `from` for `duration` by num/den — an execution-time excursion: a cache
+// storm, a degraded flash wait-state, a pathological input to CODE(M).
+// num/den > 1 stretches bursts (WCET overrun); fractions below 1 model a
+// task running unexpectedly fast. The scaling applies at burst issue
+// time, so a burst started inside the window keeps its stretched length
+// even if it completes after the window closes.
+func (t *Task) InjectOverrun(from, duration sim.Time, num, den int64) {
+	if num <= 0 || den <= 0 {
+		panic(fmt.Sprintf("rtos: InjectOverrun with non-positive scale %d/%d", num, den))
+	}
+	t.ovFrom = from
+	t.ovTo = from + duration
+	t.ovNum = num
+	t.ovDen = den
+}
+
+// overrun returns the effective duration of a compute burst issued now.
+func (t *Task) overrun(now, d sim.Time) sim.Time {
+	if t.ovTo <= t.ovFrom || now < t.ovFrom || now >= t.ovTo {
+		return d
+	}
+	return sim.Time(int64(d) * t.ovNum / t.ovDen)
+}
 
 func (t *Task) reqFromTask() chan request { return t.req }
 

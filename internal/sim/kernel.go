@@ -428,6 +428,27 @@ type Ticker struct {
 	n       uint64
 	ev      Event
 	stopped bool
+	drift   int64 // parts-per-million skew applied to each re-arm period
+}
+
+// SetDrift skews the ticker's effective period by ppm parts per million:
+// positive values slow the clock down (each period stretches), negative
+// values speed it up. The skew applies to re-arms performed after the
+// call, so a fault window can be realised by setting and later clearing
+// the drift at its edges. The effective period is clamped to at least
+// one nanosecond so a ticker can never re-arm at its own instant.
+func (t *Ticker) SetDrift(ppm int64) { t.drift = ppm }
+
+// effectivePeriod is the re-arm period under the current drift.
+func (t *Ticker) effectivePeriod() Time {
+	p := t.period
+	if t.drift != 0 {
+		p += Time(int64(p) / 1e6 * t.drift)
+		if p < 1 {
+			p = 1
+		}
+	}
+	return p
 }
 
 func (t *Ticker) fire() {
@@ -439,7 +460,7 @@ func (t *Ticker) fire() {
 	// Re-arm before running the callback so the callback can Stop the
 	// ticker and observe Pending()==false afterwards. The fired node was
 	// just released, so this After recycles it in place.
-	t.ev = t.kernel.After(t.period, t.fireFn)
+	t.ev = t.kernel.After(t.effectivePeriod(), t.fireFn)
 	t.fn(n)
 }
 

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResetDropsStaleEventsMidWindow is the fault-injection reset
+// regression: a kernel Reset in the middle of a fault window (pending
+// one-shot events, an armed self-rearming ticker) must leave nothing
+// behind — no event from the previous run may land in the next one, and
+// stale handles must stay inert even after their pooled nodes are
+// recycled.
+func TestResetDropsStaleEventsMidWindow(t *testing.T) {
+	k := New()
+	var stale int
+	k.At(10*time.Millisecond, func() {})
+	late := k.At(50*time.Millisecond, func() { stale++ })
+	tick := k.Periodic(5*time.Millisecond, 5*time.Millisecond, func(uint64) {})
+	tick.SetDrift(500_000) // active drift, as a mid-window clock-drift fault leaves it
+	k.Run(20 * time.Millisecond)
+	// 5ms start, then 7.5ms effective period: fires at 5, 12.5, 20.
+	if got := tick.Ticks(); got != 3 {
+		t.Fatalf("pre-reset ticks = %d, want 3", got)
+	}
+	if !late.Pending() {
+		t.Fatal("the 50ms event should still be pending at reset time")
+	}
+
+	k.Reset()
+	if k.Pending() != 0 || k.Now() != 0 {
+		t.Fatalf("reset kernel not pristine: pending=%d now=%v", k.Pending(), k.Now())
+	}
+	if late.Pending() {
+		t.Fatal("stale handle reports pending after Reset")
+	}
+
+	// Next run: the stale event must not land, the old ticker must not
+	// re-arm, and cancelling the stale handle — whose node has been
+	// recycled for the fresh event — must not disturb the new schedule.
+	fresh := 0
+	ev := k.At(5*time.Millisecond, func() { fresh++ })
+	if late.Cancel() {
+		t.Fatal("stale Cancel claimed to cancel a recycled node")
+	}
+	k.Run(100 * time.Millisecond)
+	if stale != 0 {
+		t.Fatal("event from the previous run fired after Reset")
+	}
+	if fresh != 1 {
+		t.Fatalf("fresh event fired %d times, want 1", fresh)
+	}
+	if got := tick.Ticks(); got != 3 {
+		t.Fatalf("old ticker advanced to %d ticks after Reset", got)
+	}
+	_ = ev
+}
+
+// TestTickerDriftStretchesPeriod pins SetDrift semantics: positive ppm
+// slows the ticker from the next re-arm on, clearing the drift restores
+// the nominal period, and the stretch is exactly period*ppm/1e6.
+func TestTickerDriftStretchesPeriod(t *testing.T) {
+	k := New()
+	var fires []Time
+	tick := k.Periodic(5*time.Millisecond, 5*time.Millisecond, func(uint64) {
+		fires = append(fires, k.Now())
+	})
+	// Window [12ms, 40ms): +1_000_000 ppm doubles the period.
+	k.At(12*time.Millisecond, func() { tick.SetDrift(1_000_000) })
+	k.At(40*time.Millisecond, func() { tick.SetDrift(0) })
+	k.Run(58 * time.Millisecond)
+	want := []Time{
+		5 * time.Millisecond, 10 * time.Millisecond, // nominal
+		15 * time.Millisecond,                       // armed before the window opened
+		25 * time.Millisecond, 35 * time.Millisecond, // doubled inside the window
+		45 * time.Millisecond,                        // last in-window re-arm
+		50 * time.Millisecond, 55 * time.Millisecond, // nominal again
+	}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestTickerDriftClampsToOneNanosecond guards the extreme-speedup edge:
+// a drift of -1e6 ppm would zero the period; the ticker must re-arm at
+// +1ns instead of its own instant.
+func TestTickerDriftClampsToOneNanosecond(t *testing.T) {
+	k := New()
+	n := 0
+	tick := k.Periodic(time.Millisecond, time.Millisecond, func(uint64) { n++ })
+	tick.SetDrift(-1_000_000)
+	k.Run(time.Millisecond + 10)
+	if n != 11 {
+		t.Fatalf("clamped ticker fired %d times, want 11 (1ms then every 1ns)", n)
+	}
+}

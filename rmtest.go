@@ -33,6 +33,7 @@ import (
 	"rmtest/internal/core"
 	"rmtest/internal/coverage"
 	"rmtest/internal/env"
+	"rmtest/internal/faults"
 	"rmtest/internal/fourvar"
 	"rmtest/internal/gpca"
 	"rmtest/internal/hw"
@@ -164,6 +165,9 @@ type (
 	SystemFactory = core.SystemFactory
 	// Segments is one matched m->i->o->c delay decomposition.
 	Segments = fourvar.Segments
+	// Segment names one leg of the delay decomposition (input, CODE(M),
+	// output); fault attribution reports expectations and verdicts in it.
+	Segment = core.Segment
 	// BaselineRule is a black-box conformance rule for the baseline
 	// monitor.
 	BaselineRule = baseline.Rule
@@ -176,6 +180,14 @@ const (
 	Pass = core.Pass
 	Fail = core.Fail
 	Max  = core.Max
+)
+
+// Delay segments.
+const (
+	SegInput  = core.SegInput
+	SegCode   = core.SegCode
+	SegOutput = core.SegOutput
+	SegNone   = core.SegNone
 )
 
 // Test-case generation strategies.
@@ -344,6 +356,52 @@ func RenderTransitions(m MReport, onlyViolations bool) string {
 
 // RenderFindings renders diagnosis findings.
 func RenderFindings(fs []Finding) string { return report.Findings(fs) }
+
+// Fault-injection layer (deterministic seeded fault plans compiled onto
+// the virtual-time kernel, with layered fault attribution).
+type (
+	// Fault is one windowed fault activation.
+	Fault = faults.Fault
+	// FaultClass selects a fault's injection mechanism.
+	FaultClass = faults.Class
+	// FaultPlan is a named list of fault activations.
+	FaultPlan = faults.Plan
+	// FaultAttribution is one row of the fault-attribution table.
+	FaultAttribution = faults.Attribution
+)
+
+// Fault classes, one per injection mechanism across the layers.
+const (
+	FaultSensorStuck     = faults.SensorStuck
+	FaultSensorDropout   = faults.SensorDropout
+	FaultSensorLatency   = faults.SensorLatency
+	FaultActuatorLatency = faults.ActuatorLatency
+	FaultActuatorDead    = faults.ActuatorDead
+	FaultTaskOverrun     = faults.TaskOverrun
+	FaultISRStorm        = faults.ISRStorm
+	FaultQueueDrop       = faults.QueueDrop
+	FaultClockDrift      = faults.ClockDrift
+	// FaultNone is the pseudo-class of the empty (baseline) plan.
+	FaultNone = faults.ClassNone
+)
+
+// PrepareFaults adapts a fault plan to the Runner Prepare hook; the
+// plan's seeded fault streams derive from seed.
+func PrepareFaults(p FaultPlan, seed uint64) func(*System, TestCase) {
+	return faults.Prepare(p, seed)
+}
+
+// AttributeFault judges a faulted M-testing result against an unfaulted
+// baseline of the same scenario.
+func AttributeFault(plan FaultPlan, base, faulted MReport) FaultAttribution {
+	return faults.Attribute(plan, base, faulted)
+}
+
+// RenderFaultTable renders fault attributions for humans.
+func RenderFaultTable(attrs []FaultAttribution) string { return report.FaultTable(attrs) }
+
+// RenderFaultCSV exports fault attributions as CSV.
+func RenderFaultCSV(attrs []FaultAttribution) string { return report.FaultCSV(attrs) }
 
 // CoverageReport aggregates the test-adequacy dimensions of an executed
 // suite (the paper's future-work direction, implemented in
