@@ -624,3 +624,42 @@ func BenchmarkCampaignFaulted(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTCGenCampaign measures the coverage-directed test-case
+// generation loop on the GPCA chart: each iteration is a full
+// generate-evaluate-extend search to adequacy on the campaign engine
+// (M-level runs, adequacy measurement, probe planning). The allocs/run
+// metric gates the generation layer's GC churn per candidate
+// evaluation, like the other campaign benchmarks.
+func BenchmarkTCGenCampaign(b *testing.B) {
+	pb, err := gpca.Precompile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			evalsPerIter := 0
+			for i := 0; i < b.N; i++ {
+				res, err := rmtest.CoverageDirectedGenerator().Generate(rmtest.GenTarget{
+					Prebuilt:    pb,
+					Scheme:      func() platform.Scheme { return platform.DefaultScheme2() },
+					Req:         gpca.REQ1(),
+					PhasePeriod: 40 * time.Millisecond,
+					Bins:        8,
+					Settle:      4500 * time.Millisecond,
+				}, rmtest.GenOptions{Seed: 42, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evalsPerIter = res.Evals
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*evalsPerIter), "allocs/run")
+		})
+	}
+}

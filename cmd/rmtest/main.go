@@ -6,6 +6,7 @@
 //
 //	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online] [-faults]
 //	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta] [-platform scheme2|scheme3]
+//	rmtest gen [-budget n] [-target ratio] [-seed n] [-workers n] [-online] [-csv]
 //
 // With -faults the command runs the fault-attribution experiment
 // instead of the single R-M flow: the REQ1 bolus scenario on scheme2,
@@ -23,6 +24,14 @@
 // bounds, and queue-capacity sufficiency. It exits nonzero when any
 // fatal finding — chart or platform — is present, so it can gate CI;
 // -json emits one machine-readable document covering both layers.
+//
+// The gen subcommand runs the test-case generation pipeline on the GPCA
+// and rail-crossing charts: the coverage-directed generator extends a
+// seeded schedule with adequacy feedback on scheme2, the falsification
+// search hill-climbs stimulus instants toward the deadline on scheme3,
+// and any violating schedule is delta-debugged down to a minimal
+// counterexample. Suites are reproducible from -seed and byte-identical
+// for any -workers value, with or without -online.
 package main
 
 import (
@@ -40,6 +49,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		runLint(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "gen" {
+		runGen(os.Args[2:])
 		return
 	}
 	reqName := flag.String("req", "REQ1", "requirement: REQ1, REQ2 or REQ3")
@@ -230,6 +243,39 @@ func modelProp(req string) rmtest.ResponseProperty {
 			TargetDesc: ">= 1", WithinTicks: 100,
 		}
 	}
+}
+
+// runGen implements the gen subcommand.
+func runGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	budget := fs.Int("budget", 0, "evaluation budget per strategy (0 = strategy defaults)")
+	target := fs.Float64("target", 0, "phase-bin adequacy target for the coverage-directed generator (0 = default 0.9)")
+	seed := fs.Uint64("seed", 42, "generation seed; the same seed reproduces the same suites")
+	workers := fs.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); suites are identical for any value")
+	online := fs.Bool("online", false, "evaluate candidates with the streaming monitor (early termination); suites are identical")
+	asCSV := fs.Bool("csv", false, "emit byte-stable CSV instead of the formatted summary")
+	progress := fs.Bool("progress", false, "report campaign progress on stderr")
+	fs.Parse(args)
+
+	opt := rmtest.GenSuiteOptions{
+		Budget: *budget, Seed: *seed, Workers: *workers,
+		Online: *online, TargetPhase: *target,
+	}
+	if *progress {
+		opt.Progress = func(p rmtest.CampaignProgress) {
+			fmt.Fprintln(os.Stderr, "rmtest:", p)
+		}
+	}
+	runs, err := rmtest.GenerateSuite(opt)
+	if err != nil {
+		fail("gen: %v", err)
+	}
+	if *asCSV {
+		fmt.Print(rmtest.RenderGenCSV(runs))
+		return
+	}
+	fmt.Println("== generated test suites (coverage / falsification / shrinking) ==")
+	fmt.Print(rmtest.RenderGenSummary(runs))
 }
 
 // runLint implements the lint subcommand.

@@ -5,12 +5,21 @@
 // Usage:
 //
 //	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online] [-faults]
+//	tablei -gen [-gen-budget n] [-gen-target ratio] [-seed n] [-workers n] [-online] [-csv] [-progress]
 //
 // With -faults the command runs the fault-injection sweep instead: the
 // Table I scenario once per catalogue fault plan on scheme2, printing
 // the fault-attribution table (or CSV with -csv). -workers, -online,
 // -seed, -n and -progress compose with it; results are byte-identical
 // for any worker count, online or post-hoc.
+//
+// With -gen the command runs the test-case generation pipeline instead
+// of replaying the hand-written Table I suite: the coverage-directed
+// generator on scheme2, the falsification search on scheme3, and
+// delta-debug shrinking of any violating schedule, on both the GPCA and
+// rail-crossing charts. -gen-budget bounds each strategy's evaluations
+// and -gen-target sets the phase-bin adequacy threshold; suites are
+// byte-identical for any -workers value, with or without -online.
 package main
 
 import (
@@ -33,7 +42,33 @@ func main() {
 	progress := flag.Bool("progress", false, "report campaign progress and throughput on stderr")
 	online := flag.Bool("online", false, "evaluate verdicts with the streaming monitor (early termination); output is identical, monitor stats go to stderr")
 	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep and print the fault-attribution table")
+	genFlag := flag.Bool("gen", false, "run the test-case generation pipeline (coverage, falsification, shrinking) instead of the hand-written suite")
+	genBudget := flag.Int("gen-budget", 0, "evaluation budget per generation strategy (0 = strategy defaults)")
+	genTarget := flag.Float64("gen-target", 0, "phase-bin adequacy target for the coverage-directed generator (0 = default 0.9)")
 	flag.Parse()
+
+	if *genFlag {
+		gopt := rmtest.GenSuiteOptions{
+			Budget: *genBudget, Seed: *seed, Workers: *workers,
+			Online: *online, TargetPhase: *genTarget,
+		}
+		if *progress {
+			gopt.Progress = func(p rmtest.CampaignProgress) {
+				fmt.Fprintln(os.Stderr, "tablei:", p)
+			}
+		}
+		runs, err := rmtest.GenerateSuite(gopt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablei:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(rmtest.RenderGenCSV(runs))
+			return
+		}
+		fmt.Print(rmtest.RenderGenSummary(runs))
+		return
+	}
 
 	if *faultsFlag {
 		fopt := rmtest.FaultSweepOptions{

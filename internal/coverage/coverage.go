@@ -158,15 +158,17 @@ func (pc PhaseCoverage) EmptyBins() []int {
 	return out
 }
 
-// Phases bins the stimulus instants by their phase within period.
+// Phases bins the stimulus instants by their phase within period. A
+// non-positive period or bin count yields the defined empty measurement
+// — no bins, Ratio 0, no empty-bin suggestions — rather than a silently
+// substituted default: degenerate inputs mean the caller has no phase
+// space to cover, and inventing one would report adequacy of a period
+// nobody asked about.
 func Phases(stimuli []sim.Time, period sim.Time, bins int) PhaseCoverage {
-	if bins <= 0 {
-		bins = 10
+	if bins <= 0 || period <= 0 {
+		return PhaseCoverage{Period: period}
 	}
 	pc := PhaseCoverage{Period: period, Bins: make([]int, bins)}
-	if period <= 0 {
-		return pc
-	}
 	for _, at := range stimuli {
 		phase := at % period
 		idx := int(int64(phase) * int64(bins) / int64(period))
@@ -234,7 +236,9 @@ type Report struct {
 // Measure computes the full adequacy report for an executed M-testing
 // run. phasePeriod should be the platform period whose alignment matters
 // most (typically the CODE(M) task period); bins controls phase
-// granularity.
+// granularity. A non-positive phasePeriod or bins yields the defined
+// empty phase measurement (see Phases); the other three dimensions are
+// measured regardless.
 func Measure(prog *codegen.Program, tt *fourvar.TransitionTrace, m core.MResult, phasePeriod sim.Time, bins int) Report {
 	var stimuli []sim.Time
 	for _, s := range m.Samples {

@@ -237,3 +237,64 @@ func TestTransitionHintsNoneWhenFullyCovered(t *testing.T) {
 		t.Fatalf("hints for full coverage: %v", hints)
 	}
 }
+
+// TestPhasesDegenerateInputs pins the defined-empty contract: a
+// non-positive bin count or period yields a measurement with no bins —
+// Ratio 0, no empty bins, nothing for Suggest to target — instead of a
+// silently substituted default bin count.
+func TestPhasesDegenerateInputs(t *testing.T) {
+	stimuli := []sim.Time{5 * ms, 45 * ms, 85 * ms}
+	for _, tc := range []struct {
+		name   string
+		period sim.Time
+		bins   int
+	}{
+		{"zero bins", 40 * ms, 0},
+		{"negative bins", 40 * ms, -3},
+		{"zero period", 0, 8},
+		{"negative period", -40 * ms, 8},
+		{"both degenerate", 0, 0},
+	} {
+		pc := Phases(stimuli, tc.period, tc.bins)
+		if len(pc.Bins) != 0 {
+			t.Errorf("%s: got %d bins, want none", tc.name, len(pc.Bins))
+		}
+		if pc.Ratio() != 0 {
+			t.Errorf("%s: ratio %v, want 0", tc.name, pc.Ratio())
+		}
+		if eb := pc.EmptyBins(); eb != nil {
+			t.Errorf("%s: empty bins %v, want none", tc.name, eb)
+		}
+		if sug := Suggest(pc, 0, time.Second); sug != nil {
+			t.Errorf("%s: suggested %v, want nothing", tc.name, sug)
+		}
+		if pc.Period != tc.period {
+			t.Errorf("%s: period rewritten to %v", tc.name, pc.Period)
+		}
+	}
+}
+
+// TestMeasureDegeneratePhase: Measure with a degenerate phase
+// configuration still measures the other three dimensions and returns
+// the defined empty phase measurement.
+func TestMeasureDegeneratePhase(t *testing.T) {
+	prog := pumpProgram(t)
+	tt := fourvar.NewTransitionTrace()
+	tt.Start(0, "t0", 0)
+	tt.Finish(0, "t0", ms, nil)
+	m := core.MResult{Program: prog, TransTrace: tt}
+	for _, rep := range []Report{
+		Measure(prog, tt, m, 0, 8),
+		Measure(prog, tt, m, 40*ms, 0),
+	} {
+		if len(rep.Phase.Bins) != 0 || rep.Phase.Ratio() != 0 {
+			t.Errorf("degenerate phase config measured bins %v", rep.Phase.Bins)
+		}
+		if rep.Transitions.Covered != 1 {
+			t.Errorf("transition coverage lost: %+v", rep.Transitions)
+		}
+		if rep.States.Covered == 0 {
+			t.Error("state coverage lost")
+		}
+	}
+}

@@ -220,6 +220,13 @@ func Precompile(cfg Config) (*Prebuilt, error) {
 // Config returns the configuration the Prebuilt was compiled from.
 func (pb *Prebuilt) Config() Config { return pb.cfg }
 
+// Program returns the compiled program. It is immutable; callers (the
+// test-case generators' model-guided probe planning) must not mutate it.
+func (pb *Prebuilt) Program() *codegen.Program { return pb.prog }
+
+// Mapping returns the validated four-variable mapping.
+func (pb *Prebuilt) Mapping() fourvar.Mapping { return pb.mapping }
+
 // Scratch pools the run-local machinery one campaign worker can safely
 // reuse between sequential runs: the simulation kernel (event pool and
 // queue capacity survive Reset) and the four-variable trace (event and

@@ -1,0 +1,410 @@
+// Package tcgen closes the generation loop the paper leaves as future
+// work (§V): instead of replaying hand-written stimulus tables, it
+// synthesizes timed test cases for an implemented system automatically.
+//
+// Three strategies sit behind one Generator interface:
+//
+//   - CoverageDirected: a seeded stimulus schedule is iteratively
+//     extended with feedback from the adequacy measurement
+//     (internal/coverage): model-guided probe chains reach uncovered
+//     transitions, phase-bin suggestions fill the stimulus phase space,
+//     and boundary probes push observed delays toward the requirement
+//     bound. The loop stops at a target adequacy or when the evaluation
+//     budget runs out.
+//
+//   - Falsification: a mutation/hill-climb search over the stimulus
+//     instants (phase shifts, burst tightening, period-boundary
+//     alignment) maximizes the observed response time toward — and past
+//     — the requirement deadline, reporting the worst schedule found and
+//     whether it violates.
+//
+//   - Shrinking: delta-debugging reduces a violating schedule to a
+//     minimal stimulus subset that still violates, so generated
+//     counterexamples are small enough for a human to read.
+//
+// Every candidate evaluation is one deterministic simulation run
+// executed through the campaign engine (internal/campaign): per-round
+// seeds derive from a splitmix64 chain, results collect in run order,
+// and the generated suites are byte-identical at any worker count, with
+// or without the online monitor's early termination.
+package tcgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rmtest/internal/campaign"
+	"rmtest/internal/core"
+	"rmtest/internal/coverage"
+	"rmtest/internal/monitor"
+	"rmtest/internal/platform"
+	"rmtest/internal/sim"
+)
+
+// Stimulus is one scheduled physical action of a generated test case.
+// Primary stimuli drive the requirement's stimulus signal and become the
+// samples of the core.TestCase; auxiliary stimuli drive other signals
+// (probe chains reaching uncovered transitions) and are applied through
+// the runner's Prepare hook, exactly as hand-written scenario
+// preparation is.
+type Stimulus struct {
+	Signal string
+	Value  int64
+	Rest   int64
+	Width  sim.Time
+	At     sim.Time
+	// Aux marks a non-sample stimulus on an auxiliary signal.
+	Aux bool
+}
+
+// Schedule is one generated timed test case: a deterministic list of
+// stimuli, kept sorted by instant (ties broken by signal name for a
+// canonical order).
+type Schedule struct {
+	Name    string
+	Stimuli []Stimulus
+}
+
+// sortStimuli canonicalises the stimulus order.
+func sortStimuli(ss []Stimulus) {
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].At != ss[j].At {
+			return ss[i].At < ss[j].At
+		}
+		return ss[i].Signal < ss[j].Signal
+	})
+}
+
+// Clone returns a deep copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := Schedule{Name: s.Name, Stimuli: make([]Stimulus, len(s.Stimuli))}
+	copy(out.Stimuli, s.Stimuli)
+	return out
+}
+
+// Add appends stimuli and restores the canonical order.
+func (s *Schedule) Add(ss ...Stimulus) {
+	s.Stimuli = append(s.Stimuli, ss...)
+	sortStimuli(s.Stimuli)
+}
+
+// Primary returns the instants of the primary (sample) stimuli in order.
+func (s Schedule) Primary() []sim.Time {
+	var out []sim.Time
+	for _, st := range s.Stimuli {
+		if !st.Aux {
+			out = append(out, st.At)
+		}
+	}
+	return out
+}
+
+// End returns the last stimulus instant (0 for an empty schedule).
+func (s Schedule) End() sim.Time {
+	var end sim.Time
+	for _, st := range s.Stimuli {
+		if st.At > end {
+			end = st.At
+		}
+	}
+	return end
+}
+
+// TestCase projects the schedule's primary stimuli into a core.TestCase.
+func (s Schedule) TestCase() core.TestCase {
+	return core.TestCase{Name: s.Name, Stimuli: s.Primary()}
+}
+
+// Target describes the implemented system a generator searches against.
+type Target struct {
+	// Prebuilt is the compiled chart and validated bindings; it is
+	// immutable and shared by all campaign workers.
+	Prebuilt *platform.Prebuilt
+	// Scheme constructs the implementation scheme per run.
+	Scheme func() platform.Scheme
+	// Req is the timing requirement under test.
+	Req core.Requirement
+	// PhasePeriod is the platform period whose stimulus alignment the
+	// phase-coverage dimension bins (typically the CODE(M) task period).
+	PhasePeriod sim.Time
+	// Bins is the phase-bin count (default 8).
+	Bins int
+	// Start is the first stimulus instant of seeded schedules.
+	Start sim.Time
+	// Settle separates consecutive primary samples so each one finds the
+	// system back in its precondition state (for the pump: the 4 s bolus
+	// plus the 1 s timeout).
+	Settle sim.Time
+	// EventGap is the dwell between consecutive probe-chain events —
+	// long enough for the previous event to propagate through the
+	// sensing pipeline and fire its transition (default 300 ms).
+	EventGap sim.Time
+	// ProbeWidth is the pulse width of auxiliary probe stimuli (default
+	// 150 ms — wide enough for every sensor sampling period to latch).
+	ProbeWidth sim.Time
+	// SampleAux lists auxiliary companion stimuli scheduled relative to
+	// every generated primary sample (each entry's At is the offset from
+	// the sample instant). Scenarios whose per-sample precondition needs
+	// scripted environment behaviour — the crossing's clear circuit
+	// releasing the gate after each train — express it here; probe
+	// chains manage their own resets and do not carry companions.
+	SampleAux []Stimulus
+}
+
+// normalised fills the Target defaults.
+func (t Target) normalised() Target {
+	if t.Bins <= 0 {
+		t.Bins = 8
+	}
+	if t.PhasePeriod <= 0 {
+		t.PhasePeriod = 40 * time.Millisecond
+	}
+	if t.Settle <= 0 {
+		t.Settle = t.Req.EffectiveTimeout() + 10*time.Millisecond
+	}
+	if t.EventGap <= 0 {
+		t.EventGap = 300 * time.Millisecond
+	}
+	if t.ProbeWidth <= 0 {
+		t.ProbeWidth = 150 * time.Millisecond
+	}
+	return t
+}
+
+// validate checks the target is runnable.
+func (t Target) validate() error {
+	if t.Prebuilt == nil {
+		return fmt.Errorf("tcgen: Target.Prebuilt is required")
+	}
+	if t.Scheme == nil {
+		return fmt.Errorf("tcgen: Target.Scheme is required")
+	}
+	return t.Req.Validate()
+}
+
+// Options bounds and seeds a generation run.
+type Options struct {
+	// Budget is the maximum number of candidate evaluations (simulation
+	// runs) the strategy may spend; 0 means the strategy default.
+	Budget int
+	// Seed drives every random choice (seeded schedules, mutations)
+	// through a splitmix64 chain; the same seed reproduces the same
+	// suite byte for byte.
+	Seed uint64
+	// Workers bounds the campaign worker pool; 0 means GOMAXPROCS. Any
+	// value produces byte-identical suites.
+	Workers int
+	// Online evaluates candidates with the streaming monitor and early
+	// termination instead of the post-hoc trace scan. Verdicts — and
+	// therefore the generated suites — are identical either way; only
+	// the amount of simulated work differs.
+	Online bool
+	// Samples is the primary-sample count of seeded schedules (default 4).
+	Samples int
+	// TargetTransitions is the transition-coverage ratio the
+	// coverage-directed strategy stops at (default 1.0).
+	TargetTransitions float64
+	// TargetPhase is the phase-bin coverage ratio the coverage-directed
+	// strategy stops at (default 0.9).
+	TargetPhase float64
+	// Progress, when set, receives a campaign snapshot per completed
+	// evaluation.
+	Progress func(campaign.Progress)
+}
+
+// normalised fills the Options defaults.
+func (o Options) normalised() Options {
+	if o.Samples <= 0 {
+		o.Samples = 4
+	}
+	if o.TargetTransitions <= 0 {
+		o.TargetTransitions = 1.0
+	}
+	if o.TargetPhase <= 0 {
+		o.TargetPhase = 0.9
+	}
+	return o
+}
+
+// Result is one strategy's outcome.
+type Result struct {
+	// Strategy names the generator that produced the result.
+	Strategy string
+	// Schedule is the generated (best/final) schedule.
+	Schedule Schedule
+	// Samples are the final schedule's per-sample R verdicts.
+	Samples []core.SampleResult
+	// Coverage is the final adequacy report (coverage-directed runs
+	// measure it each round; other strategies leave it nil).
+	Coverage *coverage.Report
+	// Unreachable lists transitions no probe chain could fire (no bound
+	// signal for a required event), sorted.
+	Unreachable []string
+	// WorstDelay is the largest observed response time; samples whose
+	// response never arrived count as the requirement timeout.
+	WorstDelay sim.Time
+	// WorstIndex is the sample index of the worst delay (-1 when the
+	// schedule produced no samples).
+	WorstIndex int
+	// Violated reports whether any sample failed the requirement.
+	Violated bool
+	// Rounds and Evals count search iterations and simulation runs.
+	Rounds int
+	Evals  int
+	// Shrunk is the delta-debugged minimal violating schedule (falsification
+	// pipelines fill it in when Violated).
+	Shrunk *Schedule
+}
+
+// Generator is one test-case generation strategy.
+type Generator interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Generate searches the target within the option budget.
+	Generate(t Target, opt Options) (Result, error)
+}
+
+// evalOut is one candidate evaluation: the R-level verdicts plus, on
+// M-level evaluations, the adequacy report.
+type evalOut struct {
+	Samples  []core.SampleResult
+	Coverage *coverage.Report
+}
+
+// worstOf folds per-sample delays into the search score: the largest
+// observed delay, with unobserved responses counting as the requirement
+// timeout (the worst measurable outcome).
+func worstOf(samples []core.SampleResult, req core.Requirement) (sim.Time, int) {
+	worst, idx := sim.Time(-1), -1
+	for i, s := range samples {
+		d := s.Delay
+		if !s.CObserved {
+			d = req.EffectiveTimeout()
+		}
+		if d > worst {
+			worst, idx = d, i
+		}
+	}
+	if idx < 0 {
+		return 0, -1
+	}
+	return worst, idx
+}
+
+// violated reports whether any sample missed the bound.
+func violated(samples []core.SampleResult) bool {
+	for _, s := range samples {
+		if s.Verdict != core.Pass {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate runs every candidate schedule once on the target — one
+// campaign, one run per schedule — and returns the outcomes in schedule
+// order. level selects R-level (verdicts only) or M-level (verdicts plus
+// adequacy measurement) instrumentation. The per-round campaign seed
+// keeps run seeds independent across rounds; results are byte-identical
+// at any worker count and with or without the online monitor.
+func evaluate(t Target, opt Options, seed uint64, level platform.Instrument, scheds []Schedule) ([]evalOut, error) {
+	cfg := campaign.Config{Workers: opt.Workers, Seed: seed, OnProgress: opt.Progress}
+	outs := campaign.MapScratch(cfg, len(scheds),
+		func() *platform.Scratch { return &platform.Scratch{} },
+		func(run campaign.Run, sc *platform.Scratch) (evalOut, error) {
+			sched := scheds[run.Index]
+			factory := func(lv platform.Instrument) (*platform.System, error) {
+				return t.Prebuilt.NewSystem(t.Scheme(), lv, sc)
+			}
+			runner, err := core.NewRunner(factory, t.Req)
+			if err != nil {
+				return evalOut{}, err
+			}
+			runner.Prepare = func(sys *platform.System, _ core.TestCase) {
+				for _, st := range sched.Stimuli {
+					if st.Aux {
+						sys.Env.PulseAt(st.At, st.Signal, st.Value, st.Rest, st.Width)
+					}
+				}
+			}
+			tc := sched.TestCase()
+			if level == platform.RLevel {
+				samples, err := runR(runner, tc, opt.Online)
+				return evalOut{Samples: samples}, err
+			}
+			mres, err := runM(runner, tc, opt.Online)
+			if err != nil {
+				return evalOut{}, err
+			}
+			base := make([]core.SampleResult, len(mres.Samples))
+			for i, s := range mres.Samples {
+				base[i] = s.SampleResult
+			}
+			cov := coverage.Measure(mres.Program, mres.TransTrace, mres, t.PhasePeriod, t.Bins)
+			return evalOut{Samples: base, Coverage: &cov}, nil
+		})
+	return campaign.Values(outs)
+}
+
+// runR executes one R-level evaluation, post-hoc or online.
+func runR(runner *core.Runner, tc core.TestCase, online bool) ([]core.SampleResult, error) {
+	if online {
+		on := &monitor.Runner{Post: runner, EarlyStop: true}
+		res, _, err := on.RunR(tc)
+		return res.Samples, err
+	}
+	res, err := runner.RunR(tc)
+	return res.Samples, err
+}
+
+// runM executes one M-level evaluation, post-hoc or online.
+func runM(runner *core.Runner, tc core.TestCase, online bool) (core.MResult, error) {
+	if online {
+		on := &monitor.Runner{Post: runner, EarlyStop: true}
+		res, _, err := on.RunM(tc)
+		return res, err
+	}
+	return runner.RunM(tc)
+}
+
+// seedSchedule builds the deterministic starting schedule: n primary
+// stimuli spaced one settle apart with a seeded phase jitter, the same
+// shape the hand-written Table I suite uses.
+func seedSchedule(t Target, name string, n int, seed uint64) Schedule {
+	r := sim.NewRand(seed | 1)
+	start := t.Start
+	if start <= 0 {
+		start = 50 * time.Millisecond
+	}
+	s := Schedule{Name: name}
+	for k := 0; k < n; k++ {
+		at := start + sim.Time(k)*t.Settle + r.Duration(0, t.PhasePeriod)
+		s.Add(sampleGroup(t, at)...)
+	}
+	return s
+}
+
+// sampleGroup shapes one sample: the primary stimulus plus the target's
+// per-sample auxiliary companions at their offsets.
+func sampleGroup(t Target, at sim.Time) []Stimulus {
+	out := []Stimulus{primaryStimulus(t, at)}
+	for _, aux := range t.SampleAux {
+		aux.At += at
+		aux.Aux = true
+		out = append(out, aux)
+	}
+	return out
+}
+
+// primaryStimulus shapes one sample stimulus from the requirement.
+func primaryStimulus(t Target, at sim.Time) Stimulus {
+	st := t.Req.Stimulus
+	width := st.Width
+	if width <= 0 {
+		// Persistent level changes still need to revert before the next
+		// sample can trigger a fresh edge; rest after half a settle.
+		width = t.Settle / 2
+	}
+	return Stimulus{Signal: st.Signal, Value: st.Value, Rest: st.Rest, Width: width, At: at}
+}

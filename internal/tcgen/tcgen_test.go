@@ -1,0 +1,218 @@
+package tcgen
+
+// Acceptance and determinism tests of the generation strategies against
+// the real GPCA and rail-crossing systems: the coverage-directed
+// generator must reach full transition adequacy within its default
+// budget, the falsification search must find a deadline violation on
+// the interference-loaded scheme, and generated suites must be
+// identical at any worker count, online or post-hoc.
+
+import (
+	"testing"
+	"time"
+
+	"rmtest/internal/gpca"
+	"rmtest/internal/platform"
+	"rmtest/internal/railcrossing"
+)
+
+func gpcaTarget(t *testing.T, scheme func() platform.Scheme) Target {
+	t.Helper()
+	pb, err := gpca.Precompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Target{
+		Prebuilt:    pb,
+		Scheme:      scheme,
+		Req:         gpca.REQ1(),
+		PhasePeriod: 40 * time.Millisecond,
+		Bins:        8,
+		// One bolus cycle: the 4 s infusion plus response margin.
+		Settle: 4500 * time.Millisecond,
+	}
+}
+
+func crossingTarget(t *testing.T, scheme func() platform.Scheme) Target {
+	t.Helper()
+	pb, err := platform.Precompile(railcrossing.PlatformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Target{
+		Prebuilt:    pb,
+		Scheme:      scheme,
+		Req:         railcrossing.GateRequirement(),
+		PhasePeriod: 40 * time.Millisecond,
+		Bins:        8,
+		// One full gate cycle: 3 s lowering, 3 s raising, margins.
+		Settle: 7500 * time.Millisecond,
+		// Each train needs the clear circuit to release the gate.
+		SampleAux: []Stimulus{{
+			Signal: railcrossing.SigClear, Value: 1, Rest: 0,
+			Width: 300 * time.Millisecond, At: 3500 * time.Millisecond,
+		}},
+	}
+}
+
+func scheme2() platform.Scheme { return platform.DefaultScheme2() }
+func scheme3() platform.Scheme { return platform.DefaultScheme3() }
+
+// TestCoverageDirectedGPCA: full transition coverage and at least 90%
+// phase coverage within the default budget, with no transition the
+// probe planner gave up on, and a well-formed schedule.
+func TestCoverageDirectedGPCA(t *testing.T) {
+	res, err := CoverageDirected().Generate(gpcaTarget(t, scheme2), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage == nil {
+		t.Fatal("no adequacy report")
+	}
+	if r := res.Coverage.Transitions.Ratio(); r < 1 {
+		t.Errorf("transition coverage %.2f, uncovered %v", r, res.Coverage.Transitions.Uncovered)
+	}
+	if r := res.Coverage.Phase.Ratio(); r < 0.9 {
+		t.Errorf("phase coverage %.2f, want >= 0.90", r)
+	}
+	if res.Evals > 32 {
+		t.Errorf("%d evaluations, default budget is 32", res.Evals)
+	}
+	if len(res.Unreachable) > 0 {
+		t.Errorf("unreachable transitions: %v", res.Unreachable)
+	}
+	if len(res.Samples) != len(res.Schedule.Primary()) {
+		t.Errorf("%d samples for %d primary stimuli", len(res.Samples), len(res.Schedule.Primary()))
+	}
+	for i := 1; i < len(res.Schedule.Stimuli); i++ {
+		if res.Schedule.Stimuli[i].At < res.Schedule.Stimuli[i-1].At {
+			t.Fatalf("schedule not time-ordered at %d", i)
+		}
+	}
+}
+
+// TestCoverageDirectedCrossing: the second chart reaches full adequacy
+// too — the generator is not GPCA-specific.
+func TestCoverageDirectedCrossing(t *testing.T) {
+	res, err := CoverageDirected().Generate(crossingTarget(t, scheme2), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Coverage.Transitions.Ratio(); r < 1 {
+		t.Errorf("transition coverage %.2f, uncovered %v", r, res.Coverage.Transitions.Uncovered)
+	}
+	if r := res.Coverage.Phase.Ratio(); r < 0.9 {
+		t.Errorf("phase coverage %.2f, want >= 0.90", r)
+	}
+}
+
+// TestFalsificationGPCA: on the interference-loaded scheme 3 the search
+// must find a schedule violating REQ1's 100 ms bound, reproducibly.
+func TestFalsificationGPCA(t *testing.T) {
+	tgt := gpcaTarget(t, scheme3)
+	res, err := Falsification().Generate(tgt, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated {
+		t.Fatalf("no violation found (worst %v over %d evals)", res.WorstDelay, res.Evals)
+	}
+	if res.WorstDelay < tgt.Req.Bound {
+		t.Errorf("violated but worst response %v under the %v bound", res.WorstDelay, tgt.Req.Bound)
+	}
+	again, err := Falsification().Generate(tgt, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.WorstDelay != res.WorstDelay || len(again.Schedule.Stimuli) != len(res.Schedule.Stimuli) {
+		t.Error("falsification is not reproducible from its seed")
+	}
+}
+
+// TestFalsificationMonotone: the adopted schedule never scores worse
+// than the seed schedule — hill-climbing only moves toward the deadline.
+func TestFalsificationMonotone(t *testing.T) {
+	tgt := gpcaTarget(t, scheme2)
+	seedOnly, err := Falsification().Generate(tgt, Options{Seed: 7, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	searched, err := Falsification().Generate(tgt, Options{Seed: 7, Budget: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if searched.WorstDelay < seedOnly.WorstDelay {
+		t.Errorf("search regressed: %v < seed %v", searched.WorstDelay, seedOnly.WorstDelay)
+	}
+}
+
+// TestGenerateDeterminism: the full coverage-directed result — schedule,
+// verdicts and adequacy — is identical at every worker count, with the
+// post-hoc evaluator and with the online monitor's early termination.
+func TestGenerateDeterminism(t *testing.T) {
+	type key struct {
+		workers int
+		online  bool
+	}
+	var ref *Result
+	for _, k := range []key{{1, false}, {2, false}, {4, false}, {1, true}, {4, true}} {
+		res, err := CoverageDirected().Generate(gpcaTarget(t, scheme2),
+			Options{Seed: 42, Workers: k.workers, Online: k.online})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = &res
+			continue
+		}
+		if len(res.Schedule.Stimuli) != len(ref.Schedule.Stimuli) {
+			t.Fatalf("%+v: stimuli count %d != %d", k, len(res.Schedule.Stimuli), len(ref.Schedule.Stimuli))
+		}
+		for i := range res.Schedule.Stimuli {
+			if res.Schedule.Stimuli[i] != ref.Schedule.Stimuli[i] {
+				t.Fatalf("%+v: stimulus %d %+v != %+v", k, i, res.Schedule.Stimuli[i], ref.Schedule.Stimuli[i])
+			}
+		}
+		if len(res.Samples) != len(ref.Samples) {
+			t.Fatalf("%+v: sample count %d != %d", k, len(res.Samples), len(ref.Samples))
+		}
+		for i := range res.Samples {
+			if res.Samples[i] != ref.Samples[i] {
+				t.Fatalf("%+v: sample %d %+v != %+v", k, i, res.Samples[i], ref.Samples[i])
+			}
+		}
+		if res.Coverage.Transitions.Covered != ref.Coverage.Transitions.Covered ||
+			res.Coverage.Phase.Ratio() != ref.Coverage.Phase.Ratio() {
+			t.Fatalf("%+v: coverage mismatch", k)
+		}
+	}
+}
+
+// TestTargetValidate: a target without a system or requirement is
+// rejected before any evaluation is spent.
+func TestTargetValidate(t *testing.T) {
+	if _, err := CoverageDirected().Generate(Target{}, Options{}); err == nil {
+		t.Error("empty target accepted")
+	}
+	tgt := gpcaTarget(t, scheme2)
+	tgt.Scheme = nil
+	if _, err := CoverageDirected().Generate(tgt, Options{}); err == nil {
+		t.Error("target without scheme accepted")
+	}
+}
+
+// TestProbePlannerGPCA: the planner finds a drivable chain for every
+// GPCA transition from the initial configuration — including the
+// alarm-side transitions a bolus-only suite never touches.
+func TestProbePlannerGPCA(t *testing.T) {
+	tgt := gpcaTarget(t, scheme2).normalised()
+	p := newProbePlanner(tgt)
+	for _, tr := range tgt.Prebuilt.Program().Trans {
+		if _, _, _, ok := p.probe(tr, 0); !ok {
+			t.Errorf("no probe chain for %s", tr.Label)
+		}
+	}
+	if un := p.unreachable(); len(un) > 0 {
+		t.Errorf("unreachable: %v", un)
+	}
+}

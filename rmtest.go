@@ -47,6 +47,7 @@ import (
 	"rmtest/internal/schedlint"
 	"rmtest/internal/sim"
 	"rmtest/internal/statechart"
+	"rmtest/internal/tcgen"
 	"rmtest/internal/verify"
 )
 
@@ -587,3 +588,57 @@ var (
 	// CrossingRequirements returns the XING-1/XING-2 catalogue.
 	CrossingRequirements = railcrossing.Requirements
 )
+
+// Test-case generation subsystem (internal/tcgen): coverage-guided
+// generation, falsification search and schedule shrinking, all
+// evaluated through the deterministic campaign engine.
+type (
+	// GenStimulus is one timed environment pulse of a generated schedule.
+	GenStimulus = tcgen.Stimulus
+	// GenSchedule is a named, time-ordered stimulus schedule.
+	GenSchedule = tcgen.Schedule
+	// GenTarget fixes the system, requirement and shaping parameters a
+	// generator works against.
+	GenTarget = tcgen.Target
+	// GenOptions bounds and seeds one generator invocation.
+	GenOptions = tcgen.Options
+	// GenResult is one strategy's outcome: the schedule, its verdicts,
+	// adequacy, worst response and search effort.
+	GenResult = tcgen.Result
+	// TestGenerator is a test-case generation strategy. (Generator names
+	// the core stimulus-spacing generator; this is the search layer.)
+	TestGenerator = tcgen.Generator
+	// ShrinkReport is the delta-debugging outcome: the minimal violating
+	// schedule and the trail of intermediate violating schedules.
+	ShrinkReport = tcgen.ShrinkResult
+	// GenRun is one chart's generation pipeline outcome for rendering.
+	GenRun = report.GenRun
+)
+
+// CoverageDirectedGenerator returns the generator that extends a seeded
+// schedule with adequacy feedback (uncovered transitions, empty phase
+// bins, missing boundary-band delays) until the target adequacy or the
+// evaluation budget is reached.
+func CoverageDirectedGenerator() TestGenerator { return tcgen.CoverageDirected() }
+
+// FalsificationGenerator returns the generator that hill-climbs over
+// stimulus instants (phase shifts, burst tightening, period-boundary
+// alignment) to maximise the observed response time toward the deadline.
+func FalsificationGenerator() TestGenerator { return tcgen.Falsification() }
+
+// ShrinkingGenerator returns the generator that delta-debugs the given
+// violating schedule down to a minimal subset that still violates.
+func ShrinkingGenerator(input GenSchedule) TestGenerator { return tcgen.Shrinker(input) }
+
+// ShrinkSchedule delta-debugs a violating schedule directly, returning
+// the minimal violating schedule and the trail of intermediates.
+func ShrinkSchedule(t GenTarget, opt GenOptions, s GenSchedule) (ShrinkReport, error) {
+	return tcgen.Shrink(t, opt, s)
+}
+
+// RenderGenSummary renders generation results as a human-readable table.
+func RenderGenSummary(runs []GenRun) string { return report.GenSummary(runs) }
+
+// RenderGenCSV renders generation results as byte-stable CSV, suitable
+// for golden pinning.
+func RenderGenCSV(runs []GenRun) string { return report.GenCSV(runs) }
