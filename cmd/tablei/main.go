@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online] [-faults]
-//	tablei -gen [-gen-budget n] [-gen-target ratio] [-seed n] [-workers n] [-online] [-csv] [-progress]
+//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online] [-faults] [-cache]
+//	tablei -gen [-gen-budget n] [-gen-target ratio] [-seed n] [-workers n] [-online] [-csv] [-progress] [-cache]
+//
+// -cache (on by default) memoises -gen and -faults candidate
+// evaluations by content fingerprint; outputs are byte-identical either
+// way, and cache statistics go to stderr.
 //
 // With -faults the command runs the fault-injection sweep instead: the
 // Table I scenario once per catalogue fault plan on scheme2, printing
@@ -45,12 +49,19 @@ func main() {
 	genFlag := flag.Bool("gen", false, "run the test-case generation pipeline (coverage, falsification, shrinking) instead of the hand-written suite")
 	genBudget := flag.Int("gen-budget", 0, "evaluation budget per generation strategy (0 = strategy defaults)")
 	genTarget := flag.Float64("gen-target", 0, "phase-bin adequacy target for the coverage-directed generator (0 = default 0.9)")
+	cacheFlag := flag.Bool("cache", true, "memoise -gen/-faults candidate evaluations by content fingerprint; output is byte-identical either way, stats go to stderr")
+	cacheCap := flag.Int("cache-cap", 0, "evaluation-cache capacity in entries (0 = default 4096)")
 	flag.Parse()
+
+	var cache *rmtest.EvalCache
+	if *cacheFlag {
+		cache = rmtest.NewEvalCache(*cacheCap)
+	}
 
 	if *genFlag {
 		gopt := rmtest.GenSuiteOptions{
 			Budget: *genBudget, Seed: *seed, Workers: *workers,
-			Online: *online, TargetPhase: *genTarget,
+			Online: *online, TargetPhase: *genTarget, Cache: cache,
 		}
 		if *progress {
 			gopt.Progress = func(p rmtest.CampaignProgress) {
@@ -61,6 +72,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tablei:", err)
 			os.Exit(1)
+		}
+		if cache != nil {
+			fmt.Fprint(os.Stderr, rmtest.RenderCacheStats(cache.Stats()))
 		}
 		if *csv {
 			fmt.Print(rmtest.RenderGenCSV(runs))
@@ -73,6 +87,7 @@ func main() {
 	if *faultsFlag {
 		fopt := rmtest.FaultSweepOptions{
 			Samples: *n, Seed: *seed, Workers: *workers, Online: *online,
+			Cache: cache,
 		}
 		if *progress {
 			fopt.Progress = func(p rmtest.CampaignProgress) {
@@ -86,6 +101,9 @@ func main() {
 		}
 		if *online {
 			fmt.Fprint(os.Stderr, rmtest.RenderMonitorStats(res.Stats))
+		}
+		if cache != nil {
+			fmt.Fprint(os.Stderr, rmtest.RenderCacheStats(cache.Stats()))
 		}
 		if *csv {
 			fmt.Print(rmtest.RenderFaultCSV(res.Attributions))

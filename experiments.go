@@ -589,6 +589,12 @@ type FaultSweepOptions struct {
 	Online bool
 	// Progress, when set, receives a snapshot after every completed run.
 	Progress func(campaign.Progress)
+	// Cache, when set, memoises per-plan evaluations by content
+	// fingerprint (system, scheme, stimuli, fault plan, per-run seed,
+	// monitor mode), so repeated sweeps over overlapping catalogues reuse
+	// results. Byte-identical output with or without a cache; may be
+	// shared with the generation pipeline's cache.
+	Cache *campaign.Cache
 }
 
 // FaultSweepResult bundles the fault sweep's outputs: one attribution
@@ -667,7 +673,29 @@ func FaultSweep(opt FaultSweepOptions) (FaultSweepResult, error) {
 		return FaultSweepResult{}, err
 	}
 	cfg := campaign.Config{Workers: opt.Workers, Seed: opt.Seed, OnProgress: opt.Progress}
-	outs, err := campaign.Values(campaign.MapScratch(cfg, len(plans),
+	// Fingerprint each plan's run. Unlike the generation pipeline's
+	// evaluations, a faulted run DOES read its per-run seed (the seeded
+	// fault streams derive from it), so the seed is part of the key: two
+	// sweeps reuse a result only when the derived seed matches too.
+	seeds := campaign.Seeds(opt.Seed, len(plans))
+	keys := make([]uint64, len(plans))
+	for i, plan := range plans {
+		h := campaign.NewHasher()
+		h.Uint64(pb.Fingerprint())
+		h.String(fmt.Sprintf("%+v", platform.DefaultScheme2()))
+		h.String(req.ID)
+		h.Int64(int64(req.Bound))
+		h.Int64(int64(req.EffectiveTimeout()))
+		h.Bool(opt.Online)
+		h.Uint64(seeds[i])
+		h.String(fmt.Sprintf("%+v", plan))
+		h.Int(len(tc.Stimuli))
+		for _, at := range tc.Stimuli {
+			h.Int64(int64(at))
+		}
+		keys[i] = h.Sum()
+	}
+	outs, err := campaign.Values(campaign.MapScratchCached(cfg, opt.Cache, keys,
 		func() *platform.Scratch { return &platform.Scratch{} },
 		func(run campaign.Run, sc *platform.Scratch) (tableIRun[core.MResult], error) {
 			plan := plans[run.Index]

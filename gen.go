@@ -34,6 +34,11 @@ type GenSuiteOptions struct {
 	TargetPhase       float64
 	// Progress, when set, receives a campaign snapshot per evaluation.
 	Progress func(campaign.Progress)
+	// Cache, when set, memoises candidate evaluations across the whole
+	// pipeline — all strategies and both charts share it, so shrinking
+	// reuses the falsifier's evaluations and repeated pipelines reuse
+	// everything. Suites are byte-identical with or without it.
+	Cache *campaign.Cache
 }
 
 func (o GenSuiteOptions) tcgen(seed uint64) tcgen.Options {
@@ -46,6 +51,7 @@ func (o GenSuiteOptions) tcgen(seed uint64) tcgen.Options {
 		TargetTransitions: o.TargetTransitions,
 		TargetPhase:       o.TargetPhase,
 		Progress:          o.Progress,
+		Cache:             o.Cache,
 	}
 }
 

@@ -83,6 +83,7 @@ func Generate(cc *statechart.Compiled) (*Program, error) {
 	}
 	p.InitState = p.stateID[cc.TopInitial()]
 	p.Code = c.code
+	specializeProgram(p)
 	return p, nil
 }
 

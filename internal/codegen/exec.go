@@ -82,6 +82,14 @@ type Exec struct {
 	tick      int64
 	stack     []int64
 
+	// Output-diff scratch: outIDs lists the output var slots sorted by
+	// name (the order VarChange diffs are reported in), and outStep /
+	// outFire are the reusable before-value snapshots for Step and fire —
+	// two buffers because fire snapshots while Step's snapshot is live.
+	outIDs  []int
+	outStep []int64
+	outFire []int64
+
 	steps       uint64
 	transitions uint64
 }
@@ -99,6 +107,16 @@ func NewExec(p *Program, cost CostModel, env ExecEnv, listener Listener) *Exec {
 		lastChild: make([]int, len(p.States)),
 		stack:     make([]int64, 0, 16),
 	}
+	for i, v := range p.Vars {
+		if v.Kind == statechart.Output {
+			e.outIDs = append(e.outIDs, i)
+		}
+	}
+	sort.Slice(e.outIDs, func(a, b int) bool {
+		return p.Vars[e.outIDs[a]].Name < p.Vars[e.outIDs[b]].Name
+	})
+	e.outStep = make([]int64, len(e.outIDs))
+	e.outFire = make([]int64, len(e.outIDs))
 	e.Reset()
 	return e
 }
@@ -215,7 +233,7 @@ func (e *Exec) EventMask(events ...string) uint64 {
 func (e *Exec) Step(events uint64) StepResult {
 	e.steps++
 	e.compute(e.cost.StepBase)
-	before := e.snapshotOutputs()
+	e.snapshotOutputs(e.outStep)
 	var res StepResult
 	for n := 0; ; n++ {
 		if n >= statechart.MaxChain {
@@ -236,7 +254,7 @@ func (e *Exec) Step(events uint64) StepResult {
 			e.runAction(e.prog.States[sid].During, &res)
 		}
 	}
-	res.Changed = e.diffOutputs(before)
+	res.Changed = e.diffOutputs(e.outStep)
 	e.tick++
 	return res
 }
@@ -257,28 +275,52 @@ func (e *Exec) pickTransition(events uint64, res *StepResult) *TransRow {
 }
 
 func (e *Exec) enabled(t *TransRow, events uint64, res *StepResult) bool {
-	switch t.Trig.Kind {
-	case statechart.TrigEvent:
-		if events&(1<<uint(t.Trig.Event)) == 0 {
+	// Event triggers (the dominant kind) check against the precomputed
+	// mask; the kind switch only runs for the temporal triggers.
+	if t.evMask != 0 {
+		if events&t.evMask == 0 {
 			return false
 		}
-	case statechart.TrigAfter:
-		if e.ticksIn(t.From) < t.Trig.N {
-			return false
-		}
-	case statechart.TrigBefore:
-		if e.ticksIn(t.From) >= t.Trig.N {
-			return false
-		}
-	case statechart.TrigAt:
-		if e.ticksIn(t.From) != t.Trig.N {
-			return false
+	} else {
+		switch t.Trig.Kind {
+		case statechart.TrigEvent:
+			// Only reachable for rows that bypassed specialization
+			// (hand-built Programs).
+			if events&(1<<uint(t.Trig.Event)) == 0 {
+				return false
+			}
+		case statechart.TrigAfter:
+			if e.ticksIn(t.From) < t.Trig.N {
+				return false
+			}
+		case statechart.TrigBefore:
+			if e.ticksIn(t.From) >= t.Trig.N {
+				return false
+			}
+		case statechart.TrigAt:
+			if e.ticksIn(t.From) != t.Trig.N {
+				return false
+			}
 		}
 	}
 	if t.Guard.Len == 0 {
 		return true
 	}
+	// The cost charge precedes evaluation on every path — specialization
+	// must not move it, or virtual time (and every golden) would shift.
 	e.compute(time.Duration(t.Guard.Nodes) * e.cost.PerGuardNode)
+	switch g := &t.Guard.spec; g.kind {
+	case specConstVal:
+		return g.c != 0
+	case specLoadVal:
+		return e.vars[g.a] != 0
+	case specNotVal:
+		return e.vars[g.a] == 0
+	case specCmpVC:
+		return evalCmp(g.op, e.vars[g.a], g.c)
+	case specCmpVV:
+		return evalCmp(g.op, e.vars[g.a], e.vars[g.b])
+	}
 	v, err := e.run(t.Guard)
 	if err != nil {
 		if res.Err == nil {
@@ -293,10 +335,11 @@ func (e *Exec) ticksIn(sid int) int64 { return e.tick - e.entryTick[sid] }
 
 // fire executes one transition with instrumentation and cost charging.
 func (e *Exec) fire(t *TransRow, res *StepResult) {
-	var outsBefore map[string]int64
+	// The per-transition snapshot exists only for the listener's benefit;
+	// without a listener no diff is consumed, so none is computed.
 	if e.listener != nil {
 		e.listener.TransitionStart(t.ID, t.Label, e.now())
-		outsBefore = e.snapshotOutputs()
+		e.snapshotOutputs(e.outFire)
 	}
 	e.compute(e.cost.PerTransition)
 	// Exit up from the active leaf to the transition source's scope,
@@ -320,7 +363,7 @@ func (e *Exec) fire(t *TransRow, res *StepResult) {
 		Label: t.Label,
 	})
 	if e.listener != nil {
-		e.listener.TransitionFinish(t.ID, t.Label, e.now(), e.diffOutputs(outsBefore))
+		e.listener.TransitionFinish(t.ID, t.Label, e.now(), e.diffOutputs(e.outFire))
 	}
 }
 
@@ -360,6 +403,14 @@ func (e *Exec) runAction(ref CodeRef, res *StepResult) {
 		return
 	}
 	e.compute(time.Duration(ref.Nodes) * e.cost.PerActionNode)
+	switch s := &ref.spec; s.kind {
+	case specStoreConst: // single assignment of a constant — no VM, no error
+		e.vars[s.a] = s.c
+		return
+	case specStoreVar:
+		e.vars[s.a] = e.vars[s.b]
+		return
+	}
 	if _, err := e.run(ref); err != nil && res != nil && res.Err == nil {
 		res.Err = err
 	}
@@ -483,26 +534,26 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-func (e *Exec) snapshotOutputs() map[string]int64 {
-	out := make(map[string]int64)
-	for i, v := range e.prog.Vars {
-		if v.Kind == statechart.Output {
-			out[v.Name] = e.vars[i]
-		}
+// snapshotOutputs records the current output values into dst (one of the
+// per-Exec scratch buffers), indexed like outIDs. No allocation.
+func (e *Exec) snapshotOutputs(dst []int64) {
+	for k, id := range e.outIDs {
+		dst[k] = e.vars[id]
 	}
-	return out
 }
 
-func (e *Exec) diffOutputs(before map[string]int64) []statechart.VarChange {
+// diffOutputs reports the outputs that changed since before was
+// snapshotted. outIDs is pre-sorted by name, so the changes come out in
+// name order without a sort — and with zero allocations when nothing
+// changed (the common steady-state case).
+func (e *Exec) diffOutputs(before []int64) []statechart.VarChange {
 	var changes []statechart.VarChange
-	for i, v := range e.prog.Vars {
-		if v.Kind != statechart.Output {
-			continue
-		}
-		if old := before[v.Name]; e.vars[i] != old {
-			changes = append(changes, statechart.VarChange{Name: v.Name, From: old, To: e.vars[i]})
+	for k, id := range e.outIDs {
+		if e.vars[id] != before[k] {
+			changes = append(changes, statechart.VarChange{
+				Name: e.prog.Vars[id].Name, From: before[k], To: e.vars[id],
+			})
 		}
 	}
-	sort.Slice(changes, func(i, j int) bool { return changes[i].Name < changes[j].Name })
 	return changes
 }

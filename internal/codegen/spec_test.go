@@ -1,0 +1,154 @@
+package codegen
+
+import (
+	"testing"
+	"time"
+
+	"rmtest/internal/sim"
+	"rmtest/internal/statechart"
+)
+
+// despecialize returns a copy of p with every fused evaluator and event
+// mask cleared, forcing the generic stack-VM path everywhere — the
+// reference the specialized executor is compared against.
+func despecialize(p *Program) *Program {
+	q := *p
+	q.States = append([]StateRow(nil), p.States...)
+	q.Trans = append([]TransRow(nil), p.Trans...)
+	for i := range q.States {
+		q.States[i].Entry.spec = spec{}
+		q.States[i].Exit.spec = spec{}
+		q.States[i].During.spec = spec{}
+	}
+	for i := range q.Trans {
+		q.Trans[i].Guard.spec = spec{}
+		q.Trans[i].Action.spec = spec{}
+		q.Trans[i].evMask = 0
+	}
+	return &q
+}
+
+func TestSpecializationAppliedShapes(t *testing.T) {
+	c := &statechart.Chart{
+		Name:       "shapes",
+		TickPeriod: time.Millisecond,
+		Events:     []string{"go"},
+		Vars: []statechart.VarDecl{
+			{Name: "x", Type: statechart.Int, Kind: statechart.Input},
+			{Name: "y", Type: statechart.Int, Kind: statechart.Output},
+		},
+		Initial: "A",
+		States: []*statechart.State{
+			{Name: "A", Transitions: []statechart.Transition{
+				{To: "B", Trigger: "go", Guard: "x > 2", Action: "y := 1"},
+			}},
+			{Name: "B", Transitions: []statechart.Transition{
+				{To: "C", Trigger: "go", Guard: "x", Action: "y := x"},
+			}},
+			{Name: "C", Transitions: []statechart.Transition{
+				{To: "A", Trigger: "go", Guard: "!x"},
+			}},
+		},
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGuard := []specKind{specCmpVC, specLoadVal, specNotVal}
+	wantAction := []specKind{specStoreConst, specStoreVar, specNone}
+	for i, tr := range p.Trans {
+		if tr.evMask == 0 {
+			t.Errorf("trans %d: event trigger not masked", i)
+		}
+		if got := tr.Guard.spec.kind; got != wantGuard[i] {
+			t.Errorf("trans %d: guard spec = %d, want %d", i, got, wantGuard[i])
+		}
+		if got := tr.Action.spec.kind; got != wantAction[i] {
+			t.Errorf("trans %d: action spec = %d, want %d", i, got, wantAction[i])
+		}
+	}
+	if p.Trans[0].Guard.spec.op != OpGt || p.Trans[0].Guard.spec.c != 2 {
+		t.Errorf("cmp spec operands wrong: %+v", p.Trans[0].Guard.spec)
+	}
+}
+
+// TestSpecializationDifferential runs random charts on the specialized
+// program and on a despecialized copy in lock-step under a non-zero cost
+// model: states, outputs, taken transitions, errors AND virtual time
+// must agree exactly — the fused evaluators may only save host time.
+func TestSpecializationDifferential(t *testing.T) {
+	events := []string{"e0", "e1", "e2"}
+	for seed := uint64(1); seed <= 120; seed++ {
+		r := sim.NewRand(seed)
+		chart := randChart(r)
+		cc, err := chart.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		prog, err := Generate(cc)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		cost := DefaultCostModel()
+		fast := NewExec(prog, cost, nil, nil)
+		slow := NewExec(despecialize(prog), cost, nil, nil)
+		steps := 30 + r.Intn(80)
+		for i := 0; i < steps; i++ {
+			var evs []string
+			for _, ev := range events {
+				if r.Bool(0.3) {
+					evs = append(evs, ev)
+				}
+			}
+			in := int64(r.Intn(6))
+			fast.SetInput("in0", in)
+			slow.SetInput("in0", in)
+			fres := fast.Step(fast.EventMask(evs...))
+			sres := slow.Step(slow.EventMask(evs...))
+			if (fres.Err == nil) != (sres.Err == nil) {
+				t.Fatalf("seed %d step %d: error mismatch %v vs %v", seed, i, fres.Err, sres.Err)
+			}
+			if fres.Err != nil {
+				break
+			}
+			if fast.ActiveState() != slow.ActiveState() {
+				t.Fatalf("seed %d step %d: state %s vs %s", seed, i, fast.ActiveState(), slow.ActiveState())
+			}
+			if len(fres.Taken) != len(sres.Taken) {
+				t.Fatalf("seed %d step %d: taken %v vs %v", seed, i, fres.Taken, sres.Taken)
+			}
+			if fast.now() != slow.now() {
+				t.Fatalf("seed %d step %d: virtual time diverged: %v vs %v", seed, i, fast.now(), slow.now())
+			}
+			for _, v := range []string{"out0", "out1", "loc0"} {
+				if fast.Get(v) != slow.Get(v) {
+					t.Fatalf("seed %d step %d: %s: %d vs %d", seed, i, v, fast.Get(v), slow.Get(v))
+				}
+			}
+		}
+	}
+}
+
+// TestExecStepSteadyStateAllocs is the regression gate for the output
+// snapshot/diff scratch: a Step that takes no transition must not touch
+// the heap at all.
+func TestExecStepSteadyStateAllocs(t *testing.T) {
+	r := sim.NewRand(3)
+	cc, err := randChart(r).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExec(prog, DefaultCostModel(), nil, nil)
+	e.Step(0) // settle entry actions
+	if avg := testing.AllocsPerRun(1000, func() { e.Step(0) }); avg != 0 {
+		t.Errorf("steady-state Step allocates %.2f allocs/op, want 0", avg)
+	}
+}

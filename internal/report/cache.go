@@ -1,0 +1,27 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rmtest/internal/campaign"
+)
+
+// CacheStats renders one evaluation-cache snapshot: the lookup
+// breakdown (cross-batch hits, in-batch dedups, executed misses), the
+// reuse rate, and the store occupancy.
+func CacheStats(s campaign.CacheStats) string {
+	var b strings.Builder
+	b.WriteString("EVALUATION CACHE. Content-addressed memoisation of candidate evaluations\n\n")
+	fmt.Fprintf(&b, "%-12s %10s\n", "counter", "value")
+	b.WriteString(strings.Repeat("-", 23))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s %10d\n", "lookups", s.Lookups())
+	fmt.Fprintf(&b, "%-12s %10d\n", "hits", s.Hits)
+	fmt.Fprintf(&b, "%-12s %10d\n", "deduped", s.Deduped)
+	fmt.Fprintf(&b, "%-12s %10d\n", "misses", s.Misses)
+	fmt.Fprintf(&b, "%-12s %10d\n", "evictions", s.Evictions)
+	fmt.Fprintf(&b, "%-12s %7d/%d\n", "entries", s.Size, s.Capacity)
+	fmt.Fprintf(&b, "\n%.1f%% of lookups reused a prior evaluation\n", 100*s.HitRate())
+	return b.String()
+}

@@ -211,6 +211,13 @@ type Options struct {
 	// Progress, when set, receives a campaign snapshot per completed
 	// evaluation.
 	Progress func(campaign.Progress)
+	// Cache, when set, memoises candidate evaluations by content
+	// fingerprint, so the revisited subsets of ddmin shrinking, the
+	// hill-climb's re-derived mutants, and identical candidates within one
+	// batch are answered without re-simulating. Results are byte-identical
+	// with and without a cache at any worker count and capacity; the cache
+	// may be shared across strategies, charts and fault sweeps.
+	Cache *campaign.Cache
 }
 
 // normalised fills the Options defaults.
@@ -310,7 +317,11 @@ func violated(samples []core.SampleResult) bool {
 // at any worker count and with or without the online monitor.
 func evaluate(t Target, opt Options, seed uint64, level platform.Instrument, scheds []Schedule) ([]evalOut, error) {
 	cfg := campaign.Config{Workers: opt.Workers, Seed: seed, OnProgress: opt.Progress}
-	outs := campaign.MapScratch(cfg, len(scheds),
+	keys := make([]uint64, len(scheds))
+	for i, sc := range scheds {
+		keys[i] = fingerprint(t, opt, level, sc)
+	}
+	outs := campaign.MapScratchCached(cfg, opt.Cache, keys,
 		func() *platform.Scratch { return &platform.Scratch{} },
 		func(run campaign.Run, sc *platform.Scratch) (evalOut, error) {
 			sched := scheds[run.Index]
@@ -345,6 +356,46 @@ func evaluate(t Target, opt Options, seed uint64, level platform.Instrument, sch
 			return evalOut{Samples: base, Coverage: &cov}, nil
 		})
 	return campaign.Values(outs)
+}
+
+// fingerprint content-addresses one candidate evaluation: everything the
+// simulation result depends on goes into the hash — the prebuilt system
+// (program, cost model, board, RTOS, bindings), the scheme shape and
+// parameters, the requirement's timing identity, the instrumentation
+// level, the monitor mode, the adequacy-binning parameters and the full
+// stimulus content. The run seed is deliberately absent: the evaluation
+// worker never reads it (a candidate's verdict is a pure function of the
+// schedule), which is exactly what makes cross-round reuse sound. The
+// schedule NAME is also absent — shrinking renames candidates ("…min")
+// without changing what they compute.
+//
+// Requirement predicates (Match functions) are identified by the
+// requirement ID + bounds rather than hashed; two requirements sharing an
+// ID within one cache's lifetime must be the same requirement.
+func fingerprint(t Target, opt Options, level platform.Instrument, s Schedule) uint64 {
+	h := campaign.NewHasher()
+	h.Uint64(t.Prebuilt.Fingerprint())
+	scheme := t.Scheme()
+	h.String(fmt.Sprintf("%T%+v", scheme, scheme))
+	h.String(t.Req.ID)
+	h.String(t.Req.Stimulus.Signal)
+	h.String(t.Req.Response.Signal)
+	h.Int64(int64(t.Req.Bound))
+	h.Int64(int64(t.Req.EffectiveTimeout()))
+	h.Int(int(level))
+	h.Bool(opt.Online)
+	h.Int64(int64(t.PhasePeriod))
+	h.Int(t.Bins)
+	h.Int(len(s.Stimuli))
+	for _, st := range s.Stimuli {
+		h.String(st.Signal)
+		h.Int64(st.Value)
+		h.Int64(st.Rest)
+		h.Int64(int64(st.Width))
+		h.Int64(int64(st.At))
+		h.Bool(st.Aux)
+	}
+	return h.Sum()
 }
 
 // runR executes one R-level evaluation, post-hoc or online.
