@@ -8,7 +8,9 @@
 // Record mode parses `go test -bench` text output from stdin into a
 // stable JSON trajectory file. Compare mode prints per-benchmark deltas
 // (benchstat-style, without the statistics) and exits non-zero when a
-// regression exceeds the thresholds. Because ns/op is host-dependent
+// regression exceeds the thresholds. A benchmark present in the
+// baseline but missing from the current run is warned about on stderr
+// and skipped — renaming or retiring benchmarks never fails the gate. Because ns/op is host-dependent
 // while allocs/op is deterministic, the default policy fails only on
 // allocation regressions; pass -max-ns-regress to also gate on time and
 // -max-metric-regress to gate on custom b.ReportMetric counters (which
@@ -171,6 +173,21 @@ func compare(oldPath, newPath string, opts compareOpts) (failed bool, err error)
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// A benchmark present in the baseline but absent from the current
+	// run is a warning, never a gate failure: adding, renaming or
+	// retiring benchmarks must not break the CI comparison. The warning
+	// keeps the skip visible so a silently-vanished benchmark is still
+	// noticed in the logs.
+	missing := make([]string, 0)
+	for name := range oldR {
+		if _, ok := newR[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchcmp: warning: baseline benchmark %s missing from current run; skipping\n", name)
+	}
 	var rows []row
 	for _, name := range names {
 		n := newR[name]

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online] [-faults] [-cache]
-//	tablei -gen [-gen-budget n] [-gen-target ratio] [-seed n] [-workers n] [-online] [-csv] [-progress] [-cache]
+//	tablei [-n samples] [-seed n] [-force-m] [-csv] [-transitions] [-workers n] [-progress] [-online] [-faults] [-cache] [-prefix-share] [-pprof prefix]
+//	tablei -gen [-gen-budget n] [-gen-target ratio] [-seed n] [-workers n] [-online] [-csv] [-progress] [-cache] [-prefix-share] [-pprof prefix]
 //
 // -cache (on by default) memoises -gen and -faults candidate
 // evaluations by content fingerprint; outputs are byte-identical either
-// way, and cache statistics go to stderr.
+// way, and cache statistics go to stderr. -prefix-share evaluates -gen
+// and -faults batches through the prefix-sharing snapshot/resume
+// engine; outputs are byte-identical either way, and sharing statistics
+// go to stderr. -pprof PREFIX writes PREFIX.cpu.pprof and
+// PREFIX.heap.pprof profiles of the run, matching the rmtest command's
+// flag.
 //
 // With -faults the command runs the fault-injection sweep instead: the
 // Table I scenario once per catalogue fault plan on scheme2, printing
@@ -30,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rmtest"
 )
@@ -51,17 +58,27 @@ func main() {
 	genTarget := flag.Float64("gen-target", 0, "phase-bin adequacy target for the coverage-directed generator (0 = default 0.9)")
 	cacheFlag := flag.Bool("cache", true, "memoise -gen/-faults candidate evaluations by content fingerprint; output is byte-identical either way, stats go to stderr")
 	cacheCap := flag.Int("cache-cap", 0, "evaluation-cache capacity in entries (0 = default 4096)")
+	prefixFlag := flag.Bool("prefix-share", false, "evaluate -gen/-faults batches through the prefix-sharing snapshot/resume engine; output is byte-identical either way, stats go to stderr")
+	pprofPrefix := flag.String("pprof", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the run")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*pprofPrefix)
+	defer stopProfiles()
 
 	var cache *rmtest.EvalCache
 	if *cacheFlag {
 		cache = rmtest.NewEvalCache(*cacheCap)
+	}
+	var sink *rmtest.PrefixStatsSink
+	if *prefixFlag {
+		sink = &rmtest.PrefixStatsSink{}
 	}
 
 	if *genFlag {
 		gopt := rmtest.GenSuiteOptions{
 			Budget: *genBudget, Seed: *seed, Workers: *workers,
 			Online: *online, TargetPhase: *genTarget, Cache: cache,
+			PrefixShare: *prefixFlag, PrefixStats: sink,
 		}
 		if *progress {
 			gopt.Progress = func(p rmtest.CampaignProgress) {
@@ -76,6 +93,9 @@ func main() {
 		if cache != nil {
 			fmt.Fprint(os.Stderr, rmtest.RenderCacheStats(cache.Stats()))
 		}
+		if sink != nil {
+			fmt.Fprintf(os.Stderr, "prefix sharing: %s\n", sink.Stats())
+		}
 		if *csv {
 			fmt.Print(rmtest.RenderGenCSV(runs))
 			return
@@ -87,7 +107,7 @@ func main() {
 	if *faultsFlag {
 		fopt := rmtest.FaultSweepOptions{
 			Samples: *n, Seed: *seed, Workers: *workers, Online: *online,
-			Cache: cache,
+			Cache: cache, PrefixShare: *prefixFlag, PrefixStats: sink,
 		}
 		if *progress {
 			fopt.Progress = func(p rmtest.CampaignProgress) {
@@ -104,6 +124,9 @@ func main() {
 		}
 		if cache != nil {
 			fmt.Fprint(os.Stderr, rmtest.RenderCacheStats(cache.Stats()))
+		}
+		if sink != nil {
+			fmt.Fprintf(os.Stderr, "prefix sharing: %s\n", sink.Stats())
 		}
 		if *csv {
 			fmt.Print(rmtest.RenderFaultCSV(res.Attributions))
@@ -195,5 +218,39 @@ func main() {
 		if len(rep.Diagnosis) > 0 {
 			fmt.Printf("\nDiagnosis (%s):\n%s", rep.R.Scheme, rmtest.RenderFindings(rep.Diagnosis))
 		}
+	}
+}
+
+// startProfiles begins CPU profiling when prefix is non-empty and
+// returns a stop function that finishes the CPU profile and dumps a
+// heap profile (after a GC, so it reflects live memory). It matches the
+// rmtest command's -pprof semantics.
+func startProfiles(prefix string) func() {
+	if prefix == "" {
+		return func() {}
+	}
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablei:", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		fmt.Fprintln(os.Stderr, "tablei:", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablei:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			fmt.Fprintln(os.Stderr, "tablei:", err)
+			os.Exit(1)
+		}
+		heap.Close()
 	}
 }

@@ -595,6 +595,19 @@ type FaultSweepOptions struct {
 	// results. Byte-identical output with or without a cache; may be
 	// shared with the generation pipeline's cache.
 	Cache *campaign.Cache
+	// PrefixShare evaluates the catalogue through the prefix-sharing
+	// snapshot/resume engine: the stimuli — identical for every plan —
+	// form a shared trunk, and each plan's fault windows are armed on a
+	// branch resumed from a snapshot taken before the earliest window
+	// opens. Plans whose windows open at time zero share only system
+	// construction, so the sweep's reuse ratio is structurally modest
+	// (the catalogue diverges early by design); results stay
+	// byte-identical to plain evaluation at every worker count. Online
+	// sweeps always take the plain path.
+	PrefixShare bool
+	// PrefixStats, when set, accumulates prefix-sharing statistics
+	// across the sweep's batches.
+	PrefixStats *campaign.PrefixStatsSink
 }
 
 // FaultSweepResult bundles the fault sweep's outputs: one attribution
@@ -695,7 +708,15 @@ func FaultSweep(opt FaultSweepOptions) (FaultSweepResult, error) {
 		}
 		keys[i] = h.Sum()
 	}
-	outs, err := campaign.Values(campaign.MapScratchCached(cfg, opt.Cache, keys,
+	var outs []tableIRun[core.MResult]
+	if opt.PrefixShare && !opt.Online {
+		outs, err = faultSweepPrefix(opt, cfg, keys, pb, req, tc, plans)
+		if err != nil {
+			return FaultSweepResult{}, err
+		}
+		return tallySweep(opt, plans, outs), nil
+	}
+	outs, err = campaign.Values(campaign.MapScratchCached(cfg, opt.Cache, keys,
 		func() *platform.Scratch { return &platform.Scratch{} },
 		func(run campaign.Run, sc *platform.Scratch) (tableIRun[core.MResult], error) {
 			plan := plans[run.Index]
@@ -721,6 +742,12 @@ func FaultSweep(opt FaultSweepOptions) (FaultSweepResult, error) {
 	if err != nil {
 		return FaultSweepResult{}, err
 	}
+	return tallySweep(opt, plans, outs), nil
+}
+
+// tallySweep folds the per-plan M results into the sweep result:
+// attributions are judged against the unfaulted baseline (plan 0).
+func tallySweep(opt FaultSweepOptions, plans []faults.Plan, outs []tableIRun[core.MResult]) FaultSweepResult {
 	res := FaultSweepResult{}
 	base := outs[0].res
 	for i, o := range outs {
@@ -730,7 +757,7 @@ func FaultSweep(opt FaultSweepOptions) (FaultSweepResult, error) {
 			res.Stats = append(res.Stats, o.stats)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // SweepPoint is one configuration of the A2 sensitivity ablation.

@@ -35,6 +35,7 @@ func (s *Scheme1) Start(sys *System) {
 	}
 	lastVals := make(map[string]int64)
 	sys.primeInputBaseline(lastVals)
+	registerEdgeState(sys, lastVals)
 	sys.Sched.SpawnPeriodic("codeM", s.Prio, s.Offset, period, func(tk *rtos.Task) {
 		sys.taskEnv.tk = tk
 		mask, updates := sys.inputScan(tk, lastVals)
@@ -42,6 +43,27 @@ func (s *Scheme1) Start(sys *System) {
 		changed := sys.stepChart(tk, mask)
 		sys.writeOutputs(tk, changed)
 	})
+}
+
+// registerEdgeState exposes a scheme's input edge-detection map to the
+// snapshot machinery: it lives in a task-body closure, so without this
+// hook a restore could not rewind which sensor values the scan last saw.
+func registerEdgeState(sys *System, lastVals map[string]int64) {
+	sys.RegisterRewindState(
+		func() any {
+			c := make(map[string]int64, len(lastVals))
+			for k, v := range lastVals {
+				c[k] = v
+			}
+			return c
+		},
+		func(saved any) {
+			clear(lastVals)
+			for k, v := range saved.(map[string]int64) {
+				lastVals[k] = v
+			}
+		},
+	)
 }
 
 // inMsg carries one input update from the sensing task to the CODE(M)
@@ -107,6 +129,7 @@ func (s *Scheme2) start(sys *System) {
 
 	lastVals := make(map[string]int64)
 	sys.primeInputBaseline(lastVals)
+	registerEdgeState(sys, lastVals)
 	sys.Sched.SpawnPeriodic("sense", s.SensePrio, 0, s.SensePeriod, func(tk *rtos.Task) {
 		_, updates := sys.inputScan(tk, lastVals)
 		for _, u := range updates {

@@ -154,14 +154,20 @@ func (s *Scheduler) Spawn(name string, prio int, start sim.Time, body func(*Task
 		panic("rtos: Spawn with nil body")
 	}
 	t := &Task{
-		sched:  s,
-		name:   name,
-		prio:   prio,
-		base:   prio,
-		state:  TaskNew,
-		resume: make(chan struct{}),
-		req:    make(chan request),
-		kill:   make(chan struct{}),
+		sched:      s,
+		name:       name,
+		prio:       prio,
+		base:       prio,
+		state:      TaskNew,
+		resume:     make(chan struct{}),
+		req:        make(chan request),
+		kill:       make(chan struct{}),
+		abort:      make(chan struct{}),
+		rewoundAck: make(chan struct{}),
+		// The initial park in run() doubles as a release boundary: the
+		// first dispatch begins the first release.
+		parkedAtRelease: true,
+		startAt:         start,
 	}
 	s.tasks = append(s.tasks, t)
 	go t.run(body)
@@ -185,19 +191,29 @@ func (s *Scheduler) SpawnPeriodic(name string, prio int, offset, period sim.Time
 		panic("rtos: non-positive period")
 	}
 	tk := s.Spawn(name, prio, offset, func(t *Task) {
-		next := offset
 		for {
 			t.releases++
-			body(t)
-			next += period
-			for next <= t.Now() {
-				next += period
+			if t.runPeriodicBody(body) {
+				// A restore rewound this release: task state, release
+				// counters and the wake event have been rewritten by the
+				// coordinator; re-park and resume at the restored release.
+				t.rewindPark()
+				continue
+			}
+			t.nextRelease += period
+			for t.nextRelease <= t.Now() {
+				t.nextRelease += period
 				t.missedReleases++
 			}
-			t.SleepUntil(next)
+			t.parkedAtRelease = true
+			t.SleepUntil(t.nextRelease)
+			t.parkedAtRelease = false
 		}
 	})
 	tk.period = period
+	// The release instant lives on the struct (not the goroutine stack)
+	// so snapshots can capture it and restores rewrite it.
+	tk.nextRelease = offset
 	return tk
 }
 

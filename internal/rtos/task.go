@@ -69,6 +69,13 @@ type request struct {
 
 type killed struct{}
 
+// rewound is the panic sentinel of the snapshot/restore machinery: it
+// unwinds a task goroutine that is parked mid-release-body back to its
+// periodic loop head, where runPeriodicBody recovers it and the
+// goroutine re-parks awaiting the restored release. Only periodic tasks
+// can be rewound; the sentinel escaping a plain task is a bug.
+type rewound struct{}
+
 // Task is a simulated RTOS task. Its methods may only be called from
 // inside the task's own body function; calling them from outside the
 // simulation is a programming error.
@@ -82,6 +89,19 @@ type Task struct {
 	resume chan struct{}
 	req    chan request
 	kill   chan struct{}
+
+	// Rewind machinery (snapshot/restore). abort delivers a rewound
+	// panic to a goroutine parked mid-body; rewoundAck signals that the
+	// unwound goroutine has reached its re-park point. parkedAtRelease
+	// reports that the goroutine is parked such that its next dispatch
+	// begins a periodic release (the snapshot-eligibility condition);
+	// nextRelease is the periodic wrapper's release instant, hoisted off
+	// the goroutine stack so a restore can rewrite it.
+	abort           chan struct{}
+	rewoundAck      chan struct{}
+	parkedAtRelease bool
+	nextRelease     sim.Time
+	startAt         sim.Time
 
 	pendingCompute sim.Time
 	readyAt        sim.Time
@@ -186,18 +206,52 @@ func (t *Task) run(body func(*Task)) {
 		}
 	}()
 	t.wait()
+	t.parkedAtRelease = false
 	body(t)
 	t.req <- request{kind: reqExit}
 	// Do not wait again: the scheduler never resumes an exited task.
 }
 
-// wait blocks the task goroutine until the scheduler resumes it.
+// wait blocks the task goroutine until the scheduler resumes it. An
+// abort delivery (snapshot restore rewinding a goroutine parked
+// mid-body) unwinds to the periodic loop head instead.
 func (t *Task) wait() {
 	select {
 	case <-t.resume:
+	case <-t.abort:
+		panic(rewound{})
 	case <-t.kill:
 		panic(killed{})
 	}
+}
+
+// runPeriodicBody executes one release of a periodic task's body,
+// converting a rewind abort into a normal return. It reports whether
+// the release was aborted by a restore.
+func (t *Task) runPeriodicBody(body func(*Task)) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(rewound); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(t)
+	return false
+}
+
+// rewindPark parks an unwound goroutine at the release boundary: it
+// acknowledges the rewind (the restoring coordinator blocks on the ack
+// before rewriting task state) and waits for the scheduler to dispatch
+// the restored release. No kernel request is issued — the restore
+// itself re-arms the task's wake or start event.
+func (t *Task) rewindPark() {
+	t.parkedAtRelease = true
+	t.rewoundAck <- struct{}{}
+	t.wait()
+	t.parkedAtRelease = false
 }
 
 // syscall issues one kernel request and blocks until it completes.

@@ -1,0 +1,118 @@
+package rmtest_test
+
+// Snapshot/restore round-trips under active fault windows: an M-level
+// GPCA system with a whole-horizon fault armed is snapshotted
+// mid-schedule (inside the window), restored twice from the same
+// snapshot, and each continuation must reproduce the uninterrupted
+// faulted run sample for sample. The plans cover the stateful injector
+// classes: seeded sensor jitter (Rand stream position), queue-drop
+// cadence (send counter), and clock drift (live ticker skew).
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rmtest/internal/core"
+	"rmtest/internal/faults"
+	"rmtest/internal/gpca"
+	"rmtest/internal/platform"
+)
+
+func TestSnapshotRoundTripUnderActiveFaultWindows(t *testing.T) {
+	pb, err := gpca.Precompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := gpca.REQ1()
+	gen := core.Generator{
+		N: 3, Start: 50 * time.Millisecond,
+		Spacing:  4500 * time.Millisecond,
+		Strategy: core.JitteredSpacing, Jitter: 200 * time.Millisecond,
+		Seed: 7,
+	}
+	tc, err := gen.Generate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := tc.Horizon(req)
+	const seed = 0x5eed
+
+	plans := []faults.Plan{
+		{Name: "sensor-latency", Faults: []faults.Fault{
+			{Class: faults.SensorLatency, Target: "bolus_button", Duration: horizon, Max: 120 * time.Millisecond}}},
+		{Name: "queue-drop", Faults: []faults.Fault{
+			{Class: faults.QueueDrop, Target: "inQ", Duration: horizon, Every: 2}}},
+		{Name: "clock-drift", Faults: []faults.Fault{
+			{Class: faults.ClockDrift, Target: "bolus_button", Duration: horizon, PPM: 15_000_000}}},
+	}
+
+	scheme := func() platform.Scheme { return platform.DefaultScheme2() }
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			sc := &platform.Scratch{}
+			runner, err := core.NewRunner(gpca.FactoryPrebuilt(pb, scheme, sc), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Uninterrupted faulted run: the reference the round-trips
+			// must reproduce.
+			runner.Prepare = faults.Prepare(plan, seed)
+			ref, err := runner.RunM(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Same arming by hand, so the snapshot can be interposed.
+			sys, err := pb.NewSystem(platform.DefaultScheme2(), platform.MLevel, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Shutdown()
+			arm := func() {
+				st := req.Stimulus
+				for _, at := range tc.Stimuli {
+					if st.Width > 0 {
+						sys.Env.PulseAt(at, st.Signal, st.Value, st.Rest, st.Width)
+					} else {
+						sys.Env.SetAt(at, st.Signal, st.Value)
+					}
+				}
+				faults.Prepare(plan, seed)(sys, tc)
+			}
+			arm()
+
+			// Snapshot just before the second stimulus — deep inside every
+			// plan's whole-horizon window, with the first sample's effects
+			// (jitter draws consumed, sends dropped, drift applied)
+			// already in the captured state.
+			bound := tc.Stimuli[1]
+			snap, ok := sys.AdvanceSnapshot(bound)
+			if !ok {
+				t.Fatalf("no quiescent snapshot instant before %v under %s", bound, plan.Name)
+			}
+			if at := snap.At(); at <= 0 || at > bound {
+				t.Fatalf("snapshot at %v, want inside (0, %v]", at, bound)
+			}
+
+			// Two round-trips from the one snapshot: the first must match
+			// the reference, and the second must match the first — the
+			// restore may not consume or corrupt the snapshot. Everything
+			// was armed before the capture, so the snapshot's own pending
+			// events carry the rest of the schedule and the arm hook adds
+			// nothing.
+			for trip := 0; trip < 2; trip++ {
+				sys.Restore(snap, func() {})
+				sys.Run(horizon)
+				mr := runner.AnnotateM(sys, tc, runner.Evaluate(sys, tc))
+				sys.DetachTransTrace()
+				if !reflect.DeepEqual(mr.Samples, ref.Samples) {
+					t.Fatalf("round-trip %d under %s diverged:\ngot  %+v\nwant %+v",
+						trip, plan.Name, mr.Samples, ref.Samples)
+				}
+			}
+		})
+	}
+}
